@@ -1,0 +1,80 @@
+"""Ablations of Clover's design constants (DESIGN.md Sec. 7 extensions).
+
+Not a paper figure: quantifies the knobs the paper fixes by fiat — the GED
+neighbourhood radius, warm starting, the SA cooling rate and the 5%
+re-optimization trigger.
+"""
+
+from repro.analysis.ablations import (
+    ablate_cooling,
+    ablate_ged_threshold,
+    ablate_trigger_threshold,
+    ablate_warm_start,
+)
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import once
+
+
+def test_ablation_ged_threshold(benchmark):
+    result = once(benchmark, ablate_ged_threshold)
+    print()
+    print(render(result, title="Ablation — GED neighbourhood radius"))
+
+    r2 = result.by_setting("2")
+    r4 = result.by_setting("4")
+    # Radius 2 admits almost no repartitioning (a BASE-started search can
+    # never leave {7g}), yet variant swaps alone already capture most of
+    # the carbon saving — the mixed-quality effect (Fig. 2) dominates the
+    # partitioning effect (Fig. 3).  What the paper's radius 4 buys is
+    # *accuracy*: partitioned slices host mid-quality variants cheaply.
+    assert r2.accuracy_loss_pct > r4.accuracy_loss_pct + 0.3
+    assert r2.carbon_save_pct > r4.carbon_save_pct - 5.0
+    # All radii meet the basic effectiveness bar.
+    for p in result.points:
+        assert p.carbon_save_pct > 20.0
+
+
+def test_ablation_warm_start(benchmark):
+    result = once(benchmark, ablate_warm_start)
+    print()
+    print(render(result, title="Ablation — warm starting invocations"))
+
+    warm = result.by_setting("on (paper)")
+    cold = result.by_setting("off")
+    # Cold restarts (SA from BASE every invocation) cannot migrate far
+    # enough before the 5-no-improve rule fires: far less carbon saved at
+    # several times the optimization cost.  Warm starting is what lets
+    # Clover "get more intelligent over time" (Fig. 13).
+    assert warm.carbon_save_pct > cold.carbon_save_pct + 10.0
+    assert warm.optimization_fraction < 0.5 * cold.optimization_fraction
+    assert warm.evaluations < cold.evaluations
+
+
+def test_ablation_cooling(benchmark):
+    result = once(benchmark, ablate_cooling)
+    print()
+    print(render(result, title="Ablation — SA cooling schedule"))
+
+    # The schedule is a robustness knob, not a cliff: every setting stays
+    # within a few points of the paper's 0.05.
+    saves = [p.carbon_save_pct for p in result.points]
+    assert max(saves) - min(saves) < 12.0
+    paper = result.by_setting("0.05 (paper)")
+    assert paper.carbon_save_pct > 70.0
+
+
+def test_ablation_trigger_threshold(benchmark):
+    result = once(benchmark, ablate_trigger_threshold)
+    print()
+    print(render(result, title="Ablation — re-optimization trigger"))
+
+    tight = result.by_setting("1%")
+    paper = result.by_setting("5% (paper)")
+    loose = result.by_setting("20%")
+    # Tighter triggers cost more optimization time ...
+    assert tight.optimization_fraction > paper.optimization_fraction
+    # ... and looser triggers re-optimize (and evaluate) less.
+    assert loose.evaluations < paper.evaluations
+    # The paper's 5% keeps near-optimal carbon at moderate overhead.
+    assert paper.carbon_save_pct > loose.carbon_save_pct - 3.0

@@ -1,0 +1,43 @@
+"""Fig. 2: mixed-quality model mixtures on a 4-GPU system.
+
+Paper shape: the star (highest-quality everywhere) anchors (0%, 1.0);
+mixtures reach >60% carbon savings at <5% accuracy loss and >80% savings
+at 10% loss.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig2_mixed_quality
+from repro.analysis.reporting import format_table
+
+from benchmarks.conftest import once
+
+
+def test_fig2_mixed_quality_frontier(benchmark):
+    result = once(benchmark, fig2_mixed_quality)
+
+    frontier = result.pareto_points()
+    print()
+    print(
+        format_table(
+            ("CarbonSave%", "Accuracy(norm)"),
+            [(f"{c:.1f}", f"{a:.4f}") for c, a in frontier],
+            title="Fig. 2 — Pareto frontier of variant mixtures (4 GPUs)",
+        )
+    )
+    print(
+        f"best saving @<=5% loss: {result.best_saving_within_loss(5.0):.1f}% | "
+        f"@<=10% loss: {result.best_saving_within_loss(10.0):.1f}%"
+    )
+
+    # The paper's two headline numbers.
+    assert result.best_saving_within_loss(5.0) > 60.0
+    assert result.best_saving_within_loss(10.0) > 80.0
+    # The anchor point.
+    star = result.mixtures.index((4, 4, 4, 4))
+    assert result.carbon_reduction_pct[star] == 0.0
+    assert result.accuracy_norm[star] == 1.0
+    # Trade-off direction: max saving comes with the worst accuracy.
+    worst_acc = float(result.accuracy_norm.min())
+    at_max_save = result.accuracy_norm[np.argmax(result.carbon_reduction_pct)]
+    assert at_max_save == worst_acc

@@ -1,0 +1,43 @@
+"""Fig. 4 (14-day regional variation) and Fig. 8 (48-hour eval traces)."""
+
+from repro.analysis.experiments import (
+    fig4_intensity_variation,
+    fig8_evaluation_traces,
+)
+from repro.analysis.reporting import format_series, render
+
+from benchmarks.conftest import once
+
+
+def test_fig4_fourteen_day_variation(benchmark):
+    result = once(benchmark, fig4_intensity_variation)
+    print()
+    print(render(result, title="Fig. 4 — 14-day carbon intensity (gCO2/kWh)"))
+
+    by_name = {s.name: s for s in result.stats}
+    # Paper: swings of >200 gCO2/kWh within half a day occur.
+    assert max(s.max_half_day_swing for s in result.stats) > 200.0
+    # UK is wind-driven: noisier than California relative to its mean.
+    assert (
+        by_name["UK ESO March"].std_ci / by_name["UK ESO March"].mean_ci
+        > by_name["US CISO March"].std_ci / by_name["US CISO March"].mean_ci
+    )
+    # All four stay in the plausible grid range.
+    for s in result.stats:
+        assert 10.0 <= s.min_ci and s.max_ci <= 600.0
+
+
+def test_fig8_evaluation_traces(benchmark):
+    result = once(benchmark, fig8_evaluation_traces)
+    print()
+    print(render(result, title="Fig. 8 — 48-hour evaluation traces"))
+    for trace in result.traces:
+        print(format_series(trace.times_h, trace.values, label=trace.name))
+
+    assert len(result.traces) == 3
+    for trace in result.traces:
+        assert trace.span_h == 48.0
+    by_name = {s.name: s for s in result.stats}
+    # Fig. 8 axis ranges.
+    assert 280 <= by_name["US CISO March"].max_ci <= 400
+    assert by_name["UK ESO March"].min_ci <= 120

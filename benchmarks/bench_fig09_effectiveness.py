@@ -1,0 +1,29 @@
+"""Fig. 9: Clover vs BASE — accuracy loss, carbon reduction, SLA latency.
+
+Paper shape: large carbon savings for every application (paper: >75%;
+we assert >60% at benchmark fidelity), modest accuracy loss (always below
+the CO2OPT worst case), and normalized p95 below 1.
+"""
+
+from repro.analysis.experiments import fig9_effectiveness
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig9_effectiveness(benchmark, runner):
+    result = once(
+        benchmark, fig9_effectiveness, runner=runner, fidelity=FIDELITY, seed=SEED
+    )
+    print()
+    print(render(result, title="Fig. 9 — Clover vs BASE (48 h, US CISO March)"))
+
+    for app in result.applications:
+        assert result.carbon_reduction_pct[app] > 60.0
+        assert result.sla_latency_norm[app] < 1.0
+        assert 0.0 < result.accuracy_loss_pct[app] < 12.0
+    # Overall: the paper's "~80% carbon saving at ~3% accuracy loss"
+    # aggregate — we hold the saving band and report the loss.
+    assert result.overall_carbon_reduction_pct > 65.0
+    # Classification lands in the paper's 2-4% loss band.
+    assert 1.0 <= result.accuracy_loss_pct["classification"] <= 5.0

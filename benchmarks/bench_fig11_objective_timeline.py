@@ -1,0 +1,36 @@
+"""Fig. 11: the Eq. 3 objective over 48 hours per scheme.
+
+Paper shape: CLOVER's curve closely tracks ORACLE's; BLOVER sits below
+CLOVER; CO2OPT is flat-footed (static config, objective moves only with
+carbon intensity).
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig11_objective_timeline
+from repro.analysis.reporting import format_series, render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig11_objective_timeline(benchmark, runner):
+    result = once(
+        benchmark, fig11_objective_timeline,
+        runner=runner, fidelity=FIDELITY, seed=SEED,
+    )
+    print()
+    print(render(result, title="Fig. 11 — objective f over time"))
+    t, f = result.series[("classification", "clover")]
+    print(format_series(t, f, label="clover/classification f(t)"))
+
+    for app in result.applications:
+        mean = {s: result.mean_objective(app, s) for s in result.schemes}
+        # CLOVER tracks ORACLE (within 15% of its mean objective).
+        assert mean["clover"] > 0.85 * mean["oracle"]
+        # And stays above BLOVER.
+        assert mean["clover"] > mean["blover"]
+
+    # The objective responds to carbon intensity: within the CLOVER series
+    # there must be meaningful variation over the 48 h.
+    t, f = result.series[("classification", "clover")]
+    assert f.max() - f.min() > 1.0

@@ -1,0 +1,48 @@
+"""Fig. 12: optimization overhead and candidate SLA compliance.
+
+Paper shape: Clover spends ~1.2% of the 48 h optimizing vs Blover's ~2.3%
+(we assert the ratio and a <4% ceiling); the SA guides Clover's candidates
+toward SLA-compliant neighbourhoods (~60% compliant), while Blover's
+raw-space draws violate far more often.
+"""
+
+from repro.analysis.experiments import fig12_optimization_overhead
+from repro.analysis.reporting import format_table, render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig12_optimization_overhead(benchmark, runner):
+    result = once(
+        benchmark, fig12_optimization_overhead,
+        runner=runner, fidelity=FIDELITY, seed=SEED,
+    )
+    print()
+    print(render(result, title="Fig. 12 — optimization overhead (classification)"))
+    rows = [
+        (scheme, *(f"{100 * w:.2f}" for w in result.opt_fraction_by_window[scheme]))
+        for scheme in ("blover", "clover")
+    ]
+    windows = len(result.opt_fraction_by_window["clover"])
+    print(
+        format_table(
+            ("Scheme", *[f"{8 * i}-{8 * i + 7}h" for i in range(windows)]),
+            rows,
+            title="Optimization time % per 8-hour window (Fig. 12a)",
+        )
+    )
+
+    # Fig. 12a: Clover's total optimization share is small and well below
+    # Blover's.
+    assert result.opt_fraction["clover"] < 0.04
+    assert result.opt_fraction["blover"] > 1.5 * result.opt_fraction["clover"]
+    # Fig. 12b: Clover's candidates are mostly SLA-compliant (paper: ~60%),
+    # Blover's mostly are not.
+    clover_ok = result.evals_sla_met["clover"] / result.evaluations["clover"]
+    blover_ok = result.evals_sla_met["blover"] / result.evaluations["blover"]
+    assert clover_ok > 0.5
+    assert clover_ok > blover_ok
+    # Clover's absolute number of SLA-violating evaluations is lower.
+    assert (
+        result.evals_sla_violated["clover"] < result.evals_sla_violated["blover"]
+    )

@@ -1,0 +1,40 @@
+"""Fig. 13: what Clover explores at invocations I, II and the last.
+
+Paper shape: the first invocation starts blind (some SLA-violating
+candidates); later invocations warm-start from the previous best, evaluate
+mostly SLA-compliant candidates, and converge in fewer evaluations.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig13_invocation_trajectories
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig13_invocation_trajectories(benchmark, runner):
+    result = once(
+        benchmark, fig13_invocation_trajectories,
+        runner=runner, fidelity=FIDELITY, seed=SEED,
+    )
+    print()
+    print(render(result, title="Fig. 13 — Clover exploration per invocation"))
+    per_inv = np.asarray(result.evaluations_per_invocation, dtype=float)
+    print(
+        f"evaluations/invocation: first={per_inv[0]:.0f} "
+        f"mean={per_inv.mean():.1f} last={per_inv[-1]:.0f}"
+    )
+
+    # Later invocations are cheaper than the first (warm start): the mean
+    # over the last quarter is below the first invocation's count.
+    last_quarter = per_inv[3 * len(per_inv) // 4:]
+    assert last_quarter.mean() <= per_inv[0]
+
+    # SLA compliance of evaluated candidates improves from invocation I to
+    # the later ones ("its initial configuration is invocation (I)'s best").
+    def compliance(label):
+        traj = result.trajectories[label]
+        return sum(1 for *_ , ok in traj if ok) / max(1, len(traj))
+
+    assert compliance("last") >= compliance("I (first)")

@@ -1,0 +1,45 @@
+"""Fig. 14: the lambda knob and the accuracy-threshold mode.
+
+Paper shape: (a) raising lambda trades accuracy for carbon monotonically
+(at a fixed 100 gCO2/kWh intensity); (b) with a hard accuracy floor of
+0.2-0.8%, Clover still finds 60-75% carbon savings while honouring the
+floor.
+"""
+
+from repro.analysis.experiments import fig14_lambda_and_threshold
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig14_lambda_and_threshold(benchmark, runner):
+    result = once(
+        benchmark, fig14_lambda_and_threshold,
+        runner=runner, fidelity=FIDELITY, seed=SEED,
+    )
+    print()
+    print(render(result, title="Fig. 14 — lambda sweep and accuracy floors"))
+
+    # (a) more lambda -> more carbon saved, no better accuracy (small
+    # tolerance: 0.5 and 0.9 can converge to near-identical deployments).
+    saves = [result.lambda_carbon_save_pct[l] for l in result.lambdas]
+    gains = [result.lambda_accuracy_gain_pct[l] for l in result.lambdas]
+    assert all(b >= a - 1.5 for a, b in zip(saves, saves[1:]))
+    assert all(b <= a + 0.5 for a, b in zip(gains, gains[1:]))
+    # Lambda 0.1 favours accuracy strongly, 0.9 saves far more carbon.
+    assert gains[0] > -2.5
+    assert saves[-1] > saves[0] + 5.0
+
+    # (b) the floor is honoured (within measurement noise) and carbon
+    # savings grow as the floor loosens.  The paper reports 60-75% savings
+    # already at 0.2-0.8% floors; under our energy calibration those tight
+    # floors leave less headroom (see EXPERIMENTS.md) — the monotone shape
+    # and the 3.2% floor's ~70% savings reproduce.
+    for floor in result.floors:
+        assert result.floor_accuracy_loss_pct[floor] <= floor + 0.3
+    f_saves = [result.floor_carbon_save_pct[f] for f in result.floors]
+    assert all(b >= a - 2.0 for a, b in zip(f_saves, f_saves[1:]))
+    assert result.floor_carbon_save_pct[0.2] > 8.0
+    assert result.floor_carbon_save_pct[0.8] > 30.0
+    assert result.floor_carbon_save_pct[1.6] > 50.0
+    assert result.floor_carbon_save_pct[3.2] > 65.0

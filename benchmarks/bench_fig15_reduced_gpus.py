@@ -1,0 +1,33 @@
+"""Fig. 15: serving the 10-GPU workload with 10, 4 and 2 GPUs.
+
+Paper shape: BASE needs all 10 GPUs (normalized p95 explodes past 3 with
+fewer); Clover meets the same SLA with 4 and even 2 GPUs thanks to
+partitioning + mixed-quality models.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig15_reduced_gpus
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig15_reduced_gpus(benchmark, runner):
+    result = once(
+        benchmark, fig15_reduced_gpus,
+        runner=runner, fidelity=FIDELITY, seed=SEED,
+    )
+    print()
+    print(render(result, title="Fig. 15 — reduced GPU provisioning"))
+
+    for app in result.applications:
+        # BASE: fine at 10 GPUs, overloaded (>3x) at 4 and 2.
+        assert result.latency_norm[(app, "base", 10)] == 1.0
+        assert result.latency_norm[(app, "base", 4)] > 3.0
+        assert result.latency_norm[(app, "base", 2)] > 3.0
+        # Clover: meets the 10-GPU SLA at every provisioning level.
+        for n in result.gpu_counts:
+            norm = result.latency_norm[(app, "clover", n)]
+            assert np.isfinite(norm)
+            assert norm <= 1.25  # p95 stays in the SLA's neighbourhood

@@ -1,0 +1,30 @@
+"""Fig. 16: geographic/seasonal robustness across the three traces.
+
+Paper shape: Clover saves >60% carbon with limited accuracy loss on every
+(trace, application) pair — California March/September and UK March.
+"""
+
+from repro.analysis.experiments import fig16_geographic
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_fig16_geographic(benchmark, runner):
+    result = once(
+        benchmark, fig16_geographic,
+        runner=runner, fidelity=FIDELITY, seed=SEED,
+    )
+    print()
+    print(render(result, title="Fig. 16 — regional/seasonal robustness"))
+
+    for tr in result.trace_names:
+        for app in result.applications:
+            assert result.carbon_save_pct[(tr, app)] > 60.0
+            assert (
+                result.accuracy_loss_pct[(tr, app)]
+                < 12.0  # never worse than the CO2OPT floor band
+            )
+    # Classification stays in the paper's tight loss band everywhere.
+    for tr in result.trace_names:
+        assert result.accuracy_loss_pct[(tr, "classification")] < 5.5

@@ -1,0 +1,58 @@
+"""Extension: carbon-intensity forecasting quality (DESIGN.md §7).
+
+Not a paper figure — the building block for the paper's future-work
+direction (proactive, forecast-driven optimization).  Measures forecast MAE
+on each evaluation grid at 1/6/12-hour horizons.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.carbon.forecast import (
+    DiurnalForecaster,
+    PersistenceForecaster,
+    forecast_mae,
+)
+from repro.carbon.generator import CISO_MARCH, ESO_MARCH, generate_trace
+
+from benchmarks.conftest import once
+
+
+def _evaluate():
+    rows = []
+    results = {}
+    for profile, seed in ((CISO_MARCH, 11), (ESO_MARCH, 12)):
+        trace = generate_trace(profile, days=7.0, rng=seed)
+        p = PersistenceForecaster(trace)
+        d = DiurnalForecaster(trace)
+        for horizon in (1.0, 6.0, 12.0):
+            mae_p = forecast_mae(p, trace, horizon)
+            mae_d = forecast_mae(d, trace, horizon)
+            rows.append(
+                (
+                    profile.name, f"{horizon:g}h",
+                    f"{mae_p:.1f}", f"{mae_d:.1f}",
+                    f"{mae_p / mae_d:.2f}x",
+                )
+            )
+            results[(profile.name, horizon)] = (mae_p, mae_d)
+    return rows, results
+
+
+def test_forecasting_quality(benchmark):
+    rows, results = once(benchmark, _evaluate)
+    print()
+    print(
+        format_table(
+            ("Grid", "Horizon", "Persistence MAE", "Diurnal MAE", "Gain"),
+            rows,
+            title="Extension — carbon-intensity forecast error (gCO2/kWh)",
+        )
+    )
+
+    for (grid, horizon), (mae_p, mae_d) in results.items():
+        if horizon >= 6.0:
+            # Diurnal structure dominates at multi-hour horizons.
+            assert mae_d < mae_p, (grid, horizon)
+    # Solar-dominated California is far more predictable than wind-driven UK.
+    ciso_12 = results[("US CISO March", 12.0)][1]
+    eso_12 = results[("UK ESO March", 12.0)][1]
+    assert ciso_12 < eso_12

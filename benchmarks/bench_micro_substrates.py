@@ -1,0 +1,97 @@
+"""Microbenchmarks of the hot substrate paths.
+
+These are conventional pytest-benchmark timings (many rounds) of the three
+inner loops whose performance bounds a full 48-hour run: the discrete-event
+simulator, the analytical queue estimator, and the graph machinery
+(GED + histogram decomposition) the optimizer calls per move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import uniform_config
+from repro.core.graph import ConfigGraph
+from repro.core.moves import MoveGenerator
+from repro.gpu.cluster import decompose_histogram
+from repro.models.perf import PerfModel
+from repro.models.zoo import default_zoo
+from repro.serving.analytic import estimate_fifo
+from repro.serving.des import simulate_fifo
+from repro.serving.workload import PoissonWorkload
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return default_zoo()
+
+
+def test_des_10k_requests_70_instances(benchmark):
+    """DES throughput: one measurement window of the full 70-slice cluster."""
+    arrivals = PoissonWorkload(2000.0).arrivals_fixed_count(10_000, 0)
+    service = np.random.default_rng(1).uniform(0.005, 0.05, 70)
+    batch = benchmark(simulate_fifo, arrivals, service, 0.08, 2)
+    assert len(batch) == 10_000
+
+
+def test_analytic_estimator(benchmark):
+    """The optimizer's per-candidate latency estimate."""
+    service = np.random.default_rng(2).uniform(0.005, 0.05, 70)
+
+    def run():
+        est = estimate_fifo(service, rate_per_s=1000.0)
+        return est.p95_ms()
+
+    p95 = benchmark(run)
+    assert np.isfinite(p95)
+
+
+def test_graph_edit_distance(benchmark, zoo):
+    fam = zoo.family("efficientnet")
+    g1 = ConfigGraph.from_config(uniform_config(fam, 10, 19, 1), 4)
+    g2 = ConfigGraph.from_config(uniform_config(fam, 10, 3, 3), 4)
+    d = benchmark(g1.ged, g2)
+    assert d > 0
+
+
+def test_histogram_decomposition(benchmark):
+    """Exact-cover feasibility for a 10-GPU histogram (memoized DP)."""
+    h = (8, 1, 0, 1, 8)  # mixes of #19, #3 and #1
+
+    def run():
+        decompose_histogram.__wrapped__ if False else None
+        return decompose_histogram(h, 10)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_move_proposal(benchmark, zoo):
+    """One SA neighbourhood proposal on the full 10-GPU cluster."""
+    moves = MoveGenerator(zoo=zoo, family="efficientnet")
+    fam = zoo.family("efficientnet")
+    config = uniform_config(fam, 10, 3, 2)
+    rng = np.random.default_rng(3)
+    proposal = benchmark(moves.propose, config, rng)
+    assert proposal is not None
+
+
+def test_full_config_evaluation(benchmark, zoo):
+    """End-to-end analytic evaluation of one candidate (the SA inner loop)."""
+    from repro.core.evaluator import ConfigEvaluator
+    from repro.serving.workload import default_rate
+
+    perf = PerfModel()
+    fam = zoo.family("efficientnet")
+    rate = default_rate(fam, perf, 10)
+    config = uniform_config(fam, 10, 19, 2)
+
+    def run():
+        # Fresh evaluator each call: measure the evaluation, not the cache.
+        evaluator = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=10,
+            method="analytic",
+        )
+        return evaluator.evaluate(config)
+
+    ev = benchmark(run)
+    assert not ev.overloaded

@@ -1,0 +1,28 @@
+"""Sec. 5.2.1: the back-of-the-envelope daily savings estimate.
+
+Paper: ~170 kg CO2/day at 25M requests/day — equivalent to a gasoline car
+driving ~680 km or ~85 kg of coal.  Our absolute numbers differ with the
+calibrated power model; the orders of magnitude and the equivalence
+arithmetic are asserted.
+"""
+
+from repro.analysis.experiments import savings_estimate
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import FIDELITY, SEED, once
+
+
+def test_savings_estimate(benchmark, runner):
+    result = once(
+        benchmark, savings_estimate, runner=runner, fidelity=FIDELITY, seed=SEED
+    )
+    print()
+    print(render(result, title="Sec. 5.2.1 — physical significance"))
+
+    # Same order of magnitude as the paper's 6.77e-3 g/request.
+    assert 1e-4 < result.saving_g_per_request < 1e-1
+    # Daily savings in the tens-to-hundreds of kg at 25M requests/day.
+    assert 10.0 < result.kg_co2_per_day < 2000.0
+    # The equivalences are pure arithmetic on the EPA factors.
+    assert result.car_km_equivalent == result.kg_co2_per_day / 0.25
+    assert result.coal_kg_equivalent == result.kg_co2_per_day / 2.0

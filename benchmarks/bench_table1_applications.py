@@ -1,0 +1,16 @@
+"""Table 1: the three applications, datasets, architectures and variants."""
+
+from repro.analysis.experiments import table1
+from repro.analysis.reporting import render
+
+from benchmarks.conftest import once
+
+
+def test_table1_applications(benchmark):
+    result = once(benchmark, table1)
+    print()
+    print(render(result, title="Table 1 — ML inference applications"))
+    headers, rows = result.table()
+    assert len(rows) == 11  # 3 YOLOv5 + 4 ALBERT + 4 EfficientNet
+    apps = {r[0] for r in rows}
+    assert apps == {"detection", "language", "classification"}

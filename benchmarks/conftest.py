@@ -1,0 +1,37 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``bench_figXX`` module regenerates one table/figure of the paper at
+``default`` fidelity, prints the measured rows (compare against
+EXPERIMENTS.md) and asserts the paper's qualitative shape.  The
+session-scoped :class:`ExperimentRunner` memoizes the underlying runs, so
+figures that share the CISO-March scheme matrix (Figs. 9-13) pay for it
+once.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+
+#: Fidelity for all trace-driven benchmarks.
+FIDELITY = "default"
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Experiment harness runs are deterministic and seconds-long; repeating
+    them would only re-measure the memo cache.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Capacity planning: how few GPUs can serve the 10-GPU workload?
+
+The paper's Fig. 15 observation as a planning tool: because Clover
+partitions GPUs and mixes model variants, it can meet the same p95 SLA as
+an unpartitioned BASE deployment with a fraction of the hardware — which
+also avoids the *embodied* carbon of the machines you no longer buy.
+
+    python examples/capacity_planning.py [--application language]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.service import CarbonAwareInferenceService, derive_baseline
+from repro.models.perf import PerfModel
+from repro.models.zoo import default_zoo
+from repro.serving.workload import default_rate
+
+FULL_FLEET = 10
+
+
+def p95_norm(application, scheme, n_gpus, rate, baseline, base_p95, seed):
+    service = CarbonAwareInferenceService.create(
+        application=application,
+        scheme=scheme,
+        n_gpus=n_gpus,
+        rate_per_s=rate,
+        baseline=baseline,
+        fidelity="default",
+        seed=seed,
+    )
+    report = service.run(duration_h=12.0)
+    if not np.isfinite(report.p95_ms):
+        return float("inf")
+    return report.p95_ms / base_p95
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--application", default="classification")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    zoo, perf = default_zoo(), PerfModel()
+    fam = zoo.for_application(args.application)
+    rate = default_rate(fam, perf, FULL_FLEET)
+    baseline = derive_baseline(
+        zoo, perf, fam.name, FULL_FLEET, rate,
+        ci_base=220.0, des_requests=12000, seed=args.seed,
+    )
+    print(
+        f"Workload: {rate:.0f} req/s of {args.application}; "
+        f"SLA = {baseline.sla.p95_target_ms:.1f} ms "
+        f"(p95 of {FULL_FLEET}-GPU BASE)\n"
+    )
+
+    base10 = p95_norm(
+        args.application, "base", FULL_FLEET, rate, baseline,
+        baseline.sla.p95_target_ms, args.seed,
+    )
+    rows = []
+    min_feasible = None
+    for n in (10, 8, 6, 4, 3, 2, 1):
+        cells = [str(n)]
+        for scheme in ("base", "clover"):
+            norm = p95_norm(
+                args.application, scheme, n, rate, baseline,
+                baseline.sla.p95_target_ms, args.seed,
+            )
+            cells.append(">3" if norm > 3 else f"{norm:.2f}")
+            if scheme == "clover" and norm <= 1.05:
+                min_feasible = n
+        rows.append(tuple(cells))
+
+    print(
+        format_table(
+            ("GPUs", "BASE p95/SLA", "CLOVER p95/SLA"),
+            rows,
+            title="p95 latency relative to the 10-GPU SLA",
+        )
+    )
+    print()
+    if min_feasible is not None:
+        saved = FULL_FLEET - min_feasible
+        print(
+            f"Clover meets the SLA with as few as {min_feasible} GPUs — "
+            f"{saved} machines ({100 * saved / FULL_FLEET:.0f}%) of embodied "
+            "carbon, cooling and capex avoided."
+        )
+    del base10
+
+
+if __name__ == "__main__":
+    main()

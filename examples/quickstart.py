@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: run a carbon-aware inference service for one simulated day.
+
+Builds the paper's default setup — EfficientNet image classification on ten
+MIG-capable A100s, Poisson traffic sized to 65% of BASE capacity, the US
+CISO March carbon trace — and runs the Clover controller over it.
+
+    python examples/quickstart.py [--scheme clover] [--hours 24]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CarbonAwareInferenceService
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scheme", default="clover",
+        choices=("base", "co2opt", "blover", "clover", "oracle"),
+    )
+    parser.add_argument("--application", default="classification")
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Building a {args.scheme!r} service for {args.application!r} ...")
+    service = CarbonAwareInferenceService.create(
+        application=args.application,
+        scheme=args.scheme,
+        fidelity="default",
+        seed=args.seed,
+    )
+    print(f"  SLA (BASE p95):      {service.baseline.sla.p95_target_ms:.1f} ms")
+    print(f"  baseline C:          {service.baseline.c_base_g_per_request:.2e} "
+          f"gCO2/request at {service.baseline.ci_base:.0f} gCO2/kWh")
+    print(f"  carbon trace:        {service.trace}")
+    print()
+
+    report = service.run(duration_h=args.hours)
+
+    print(f"After {report.duration_h:.0f} simulated hours:")
+    print(f"  requests served:     {report.total_requests:,.0f}")
+    print(f"  energy:              {report.total_energy_j / 3.6e6:.2f} kWh")
+    print(f"  carbon:              {report.total_carbon_g / 1e3:.2f} kg CO2 "
+          f"({report.carbon_g_per_request:.2e} g/request)")
+    print(f"  mean accuracy:       {report.mean_accuracy:.2f} "
+          f"(-{report.accuracy_loss_pct:.2f}% vs best model)")
+    print(f"  p95 latency:         {report.p95_ms:.1f} ms "
+          f"(SLA {report.sla_target_ms:.1f} ms)")
+    print(f"  SLA-violating load:  {100 * report.sla_violation_fraction:.1f}% "
+          f"of requests")
+    print(f"  optimization:        {len(report.invocations)} invocations, "
+          f"{report.total_evaluations} configs evaluated, "
+          f"{100 * report.optimization_fraction:.2f}% of wall time")
+
+    if report.invocations:
+        last = report.invocations[-1]
+        print(f"  current deployment:  partitions {last.deployed_label}")
+
+
+if __name__ == "__main__":
+    main()

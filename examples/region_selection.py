@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Where (and when) is carbon-aware serving worth the most?
+
+Runs the same Clover service against different regional grid profiles —
+the paper's Fig. 16 robustness study turned into a placement question: the
+absolute carbon saved depends on the grid's intensity level, while the
+*relative* saving is robust across regions and seasons.
+
+Also demonstrates the synthetic grid generator: a hypothetical
+hydro-dominated region (low, flat intensity) shows where carbon-awareness
+matters least.
+
+    python examples/region_selection.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CarbonAwareInferenceService
+from repro.analysis.reporting import format_table
+from repro.carbon.generator import GridProfile, generate_trace
+from repro.carbon.traces import evaluation_traces
+
+
+def run_pair(application, trace, seed):
+    out = {}
+    for scheme in ("base", "clover"):
+        service = CarbonAwareInferenceService.create(
+            application=application, scheme=scheme, trace=trace,
+            fidelity="default", seed=seed,
+        )
+        out[scheme] = service.run()
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--application", default="classification")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    traces = dict(evaluation_traces())
+
+    # A hypothetical hydro-dominated grid: low and almost flat.
+    hydro = GridProfile(
+        name="Hydro Valley (synthetic)",
+        base=45.0, solar_depth=5.0, solar_center_h=12.0, solar_width_h=3.0,
+        morning_peak=4.0, evening_peak=6.0, noise_std=3.0, noise_corr=0.8,
+    )
+    traces["hydro-valley"] = generate_trace(hydro, days=2.0, rng=args.seed)
+
+    rows = []
+    for key, trace in traces.items():
+        results = run_pair(args.application, trace, args.seed)
+        base, clover = results["base"], results["clover"]
+        save_pct = (1 - clover.total_carbon_g / base.total_carbon_g) * 100.0
+        save_abs = (base.total_carbon_g - clover.total_carbon_g) / 1e3
+        rows.append(
+            (
+                trace.name,
+                f"{trace.mean():.0f}",
+                f"{save_pct:.1f}",
+                f"{save_abs:.2f}",
+                f"{clover.accuracy_loss_pct:.2f}",
+                str(len(clover.invocations)),
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "Region/season", "Mean ci", "Save%", "Saved kg/48h",
+                "AccLoss%", "Re-optimizations",
+            ),
+            rows,
+            title=f"Clover vs BASE for {args.application} across grids",
+        )
+    )
+    print()
+    print("The relative saving is robust across regions (the paper's Fig. 16),")
+    print("but the absolute kilograms scale with the grid's carbon intensity —")
+    print("carbon-aware serving buys the most on dirty, volatile grids.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a from-scratch reproduction of Clover (SC '23).
+
+Clover is a carbon-aware ML inference serving runtime that jointly chooses
+mixed-quality model variants and MIG GPU partitions to trade carbon
+emissions against accuracy under a p95 tail-latency SLA, re-optimizing
+online as grid carbon intensity changes.
+
+Quickstart::
+
+    from repro import CarbonAwareInferenceService
+
+    service = CarbonAwareInferenceService.create(
+        application="classification", scheme="clover", seed=0
+    )
+    report = service.run(duration_h=48.0)
+    print(f"carbon: {report.total_carbon_g:.0f} g, "
+          f"accuracy loss: {report.accuracy_loss_pct:.1f}%")
+
+Packages: :mod:`repro.gpu` (MIG substrate), :mod:`repro.models` (Table-1
+model zoo), :mod:`repro.serving` (queueing + DES), :mod:`repro.carbon`
+(traces + accounting), :mod:`repro.core` (the Clover system), and
+:mod:`repro.analysis` (paper-figure experiment harness).
+"""
+
+from repro.core.service import CarbonAwareInferenceService, FidelityProfile
+from repro.core.controller import RunResult
+from repro.models.zoo import default_zoo
+from repro.models.perf import PerfModel
+from repro.carbon.traces import evaluation_traces, trace_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CarbonAwareInferenceService",
+    "FidelityProfile",
+    "RunResult",
+    "default_zoo",
+    "PerfModel",
+    "evaluation_traces",
+    "trace_by_name",
+    "__version__",
+]

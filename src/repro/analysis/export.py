@@ -1,0 +1,101 @@
+"""Export experiment results to CSV and JSON.
+
+Every experiment result in :mod:`repro.analysis.experiments` exposes
+``table() -> (headers, rows)``; these helpers serialize that uniform shape
+(plus full :class:`~repro.core.controller.RunResult` records) so downstream
+tooling — notebooks, plotting scripts, dashboards — can consume the
+reproduction's numbers without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.controller import RunResult
+
+__all__ = ["table_to_csv", "table_to_json", "run_result_to_dict", "write_json"]
+
+
+def table_to_csv(result, path: str | Path | None = None) -> str:
+    """Render a ``table()``-bearing result as CSV; optionally write it."""
+    headers, rows = result.table()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def table_to_json(result, path: str | Path | None = None) -> str:
+    """Render a ``table()``-bearing result as a JSON list of row objects."""
+    headers, rows = result.table()
+    records = [dict(zip(headers, row)) for row in rows]
+    text = json.dumps(records, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and not np.isfinite(value):
+        return None  # JSON has no Infinity; null marks overload
+    return value
+
+
+def run_result_to_dict(result: RunResult, include_epochs: bool = True) -> dict:
+    """Full structured dump of one run (summary + per-epoch records)."""
+    out = {
+        "scheme": result.scheme_name,
+        "application": result.application,
+        "family": result.family,
+        "trace": result.trace_name,
+        "n_gpus": result.n_gpus,
+        "rate_per_s": result.rate_per_s,
+        "lambda": result.lambda_weight,
+        "sla_target_ms": result.sla_target_ms,
+        "duration_h": result.duration_h,
+        "totals": {
+            "requests": result.total_requests,
+            "energy_j": result.total_energy_j,
+            "carbon_g": result.total_carbon_g,
+            "carbon_g_per_request": result.carbon_g_per_request,
+            "mean_accuracy": result.mean_accuracy,
+            "accuracy_loss_pct": result.accuracy_loss_pct,
+            "p95_ms": _jsonable(result.p95_ms),
+            "sla_violation_fraction": result.sla_violation_fraction,
+            "optimization_fraction": result.optimization_fraction,
+            "invocations": len(result.invocations),
+            "evaluations": result.total_evaluations,
+        },
+    }
+    if include_epochs:
+        out["epochs"] = [
+            {
+                "t_h": e.t_h,
+                "ci": e.ci,
+                "carbon_g": e.carbon_g,
+                "accuracy": e.accuracy,
+                "p95_ms": _jsonable(e.p95_ms),
+                "f": e.f_objective,
+                "optimization_s": e.optimization_s,
+                "config": e.config_label,
+            }
+            for e in result.epochs
+        ]
+    return out
+
+
+def write_json(data: dict, path: str | Path) -> None:
+    """Write a dict (e.g. from :func:`run_result_to_dict`) as JSON."""
+    Path(path).write_text(json.dumps(data, indent=2, default=_jsonable))

@@ -1,0 +1,67 @@
+"""ASCII rendering of experiment results (the harness's "figures").
+
+Everything the paper plots, this module prints: aligned tables for the
+scalar comparisons and a tiny horizontal-bar renderer for time series, so
+that benchmark logs are self-describing without matplotlib.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "render"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: str | None = None
+) -> str:
+    """Monospace table with a header rule, sized to the widest cell."""
+    str_rows = [tuple(str(c) for c in r) for r in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    head = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(head)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    t: np.ndarray,
+    values: np.ndarray,
+    label: str = "",
+    width: int = 48,
+    samples: int = 12,
+) -> str:
+    """A compact bar sketch of a time series (one row per sample point)."""
+    t = np.asarray(t, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.shape != v.shape or t.size == 0:
+        raise ValueError("series arrays must be non-empty and equal length")
+    idx = np.linspace(0, t.size - 1, min(samples, t.size)).astype(int)
+    lo, hi = float(np.nanmin(v)), float(np.nanmax(v))
+    span = hi - lo if hi > lo else 1.0
+    lines = [f"{label} [{lo:.2f} .. {hi:.2f}]"] if label else []
+    for i in idx:
+        filled = int(round((v[i] - lo) / span * width))
+        lines.append(f"  t={t[i]:6.1f}h |{'#' * filled:<{width}}| {v[i]:8.2f}")
+    return "\n".join(lines)
+
+
+def render(result, title: str | None = None) -> str:
+    """Render any experiment result exposing ``table()``."""
+    headers, rows = result.table()
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,102 @@
+"""Embodied-carbon accounting for provisioned hardware.
+
+The paper's Fig. 15 take-away: "as Clover explicitly reduces the
+operational carbon emission, it can also implicitly reduce the carbon
+emission incurred in manufacturing, transporting, and cooling of the
+unneeded server machines."  This module quantifies that implicit saving:
+an amortization model of the manufacturing footprint of a GPU server,
+charged per provisioned GPU-hour, in the style of ACT/Chasing-Carbon
+(the paper's refs [2, 65]).
+
+Used by the capacity-planning workflow: when Clover serves the same SLA
+with fewer GPUs (Fig. 15), the avoided embodied carbon adds to the
+operational saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EmbodiedCarbonModel", "TotalCarbonBreakdown"]
+
+#: Literature-typical manufacturing footprint of one datacenter
+#: accelerator + its server share, in kgCO2e (ACT-style estimates put a
+#: full GPU server at ~1-3 tCO2e over 8 GPUs).
+DEFAULT_KG_CO2E_PER_GPU = 150.0
+
+#: Typical datacenter accelerator service lifetime.
+DEFAULT_LIFETIME_YEARS = 4.0
+
+
+@dataclass(frozen=True)
+class EmbodiedCarbonModel:
+    """Amortized manufacturing footprint of provisioned GPUs."""
+
+    kg_co2e_per_gpu: float = DEFAULT_KG_CO2E_PER_GPU
+    lifetime_years: float = DEFAULT_LIFETIME_YEARS
+
+    def __post_init__(self) -> None:
+        if self.kg_co2e_per_gpu <= 0:
+            raise ValueError(
+                f"embodied footprint must be positive, got {self.kg_co2e_per_gpu}"
+            )
+        if self.lifetime_years <= 0:
+            raise ValueError(
+                f"lifetime must be positive, got {self.lifetime_years}"
+            )
+
+    @property
+    def grams_per_gpu_hour(self) -> float:
+        """Manufacturing carbon attributed to one provisioned GPU-hour."""
+        lifetime_hours = self.lifetime_years * 365.25 * 24.0
+        return self.kg_co2e_per_gpu * 1e3 / lifetime_hours
+
+    def embodied_g(self, n_gpus: int, duration_h: float) -> float:
+        """Embodied carbon charged to ``n_gpus`` over ``duration_h`` hours."""
+        if n_gpus < 0:
+            raise ValueError(f"GPU count must be non-negative, got {n_gpus}")
+        if duration_h < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_h}")
+        return self.grams_per_gpu_hour * n_gpus * duration_h
+
+    def breakdown(
+        self, operational_g: float, n_gpus: int, duration_h: float
+    ) -> "TotalCarbonBreakdown":
+        """Combine a run's operational carbon with its embodied share."""
+        return TotalCarbonBreakdown(
+            operational_g=operational_g,
+            embodied_g=self.embodied_g(n_gpus, duration_h),
+            n_gpus=n_gpus,
+            duration_h=duration_h,
+        )
+
+
+@dataclass(frozen=True)
+class TotalCarbonBreakdown:
+    """Operational + embodied carbon of one deployment window."""
+
+    operational_g: float
+    embodied_g: float
+    n_gpus: int
+    duration_h: float
+
+    def __post_init__(self) -> None:
+        if self.operational_g < 0 or self.embodied_g < 0:
+            raise ValueError("carbon components must be non-negative")
+
+    @property
+    def total_g(self) -> float:
+        return self.operational_g + self.embodied_g
+
+    @property
+    def embodied_fraction(self) -> float:
+        """Share of the total that is manufacturing amortization."""
+        if self.total_g == 0:
+            return 0.0
+        return self.embodied_g / self.total_g
+
+    def saving_vs(self, other: "TotalCarbonBreakdown") -> float:
+        """Total-carbon reduction of ``self`` relative to ``other``, in %."""
+        if other.total_g <= 0:
+            raise ValueError("reference deployment has no carbon")
+        return (1.0 - self.total_g / other.total_g) * 100.0

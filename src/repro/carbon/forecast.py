@@ -1,0 +1,128 @@
+"""Carbon-intensity forecasting (a paper-future-work building block).
+
+Clover itself is purely reactive — it re-optimizes when the *observed*
+intensity moves 5%.  Several follow-up systems (and the paper's related
+work on carbon-aware batch scheduling) act on short-horizon *forecasts*
+instead.  This module provides two reference forecasters over
+:class:`~repro.carbon.intensity.CarbonIntensityTrace` histories:
+
+* :class:`PersistenceForecaster` — "the next hours look like right now";
+  the baseline every forecasting paper compares against,
+* :class:`DiurnalForecaster` — hour-of-day climatology blended with a
+  persistence anchor; grid intensity is strongly diurnal (solar), so this
+  captures most of the predictable structure.
+
+Accuracy is quantified with mean absolute error over a horizon; tests pin
+that the diurnal forecaster beats persistence on solar-shaped grids at
+multi-hour horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.intensity import CarbonIntensityTrace
+
+__all__ = [
+    "PersistenceForecaster",
+    "DiurnalForecaster",
+    "forecast_mae",
+]
+
+
+@dataclass(frozen=True)
+class PersistenceForecaster:
+    """Predicts the current intensity for every future horizon."""
+
+    trace: CarbonIntensityTrace
+
+    def predict(self, t_h: float, horizon_h: float) -> float:
+        """Forecast intensity at ``t_h + horizon_h`` given data up to ``t_h``."""
+        if horizon_h < 0:
+            raise ValueError(f"horizon must be non-negative, got {horizon_h}")
+        return float(self.trace.at(t_h))
+
+
+@dataclass(frozen=True)
+class DiurnalForecaster:
+    """Hour-of-day climatology anchored to the current observation.
+
+    The forecast is ``climatology(target hour) + decay * (now - climatology
+    (current hour))``: at short horizons the current anomaly dominates
+    (persistence-like); at long horizons the prediction relaxes to the
+    historical mean profile.
+
+    Parameters
+    ----------
+    trace:
+        History the climatology is built from (only samples at or before
+        the query time are used — no lookahead).
+    anomaly_halflife_h:
+        How fast the current anomaly decays toward climatology.
+    """
+
+    trace: CarbonIntensityTrace
+    anomaly_halflife_h: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.anomaly_halflife_h <= 0:
+            raise ValueError(
+                f"halflife must be positive, got {self.anomaly_halflife_h}"
+            )
+
+    def _climatology(self, t_h: float) -> np.ndarray:
+        """Mean intensity per hour-of-day over history up to ``t_h``."""
+        mask = self.trace.times_h <= t_h
+        if mask.sum() < 2:
+            raise ValueError("not enough history before the query time")
+        hours = self.trace.times_h[mask] % 24.0
+        values = self.trace.values[mask]
+        profile = np.empty(24)
+        overall = values.mean()
+        for h in range(24):
+            sel = (hours >= h) & (hours < h + 1)
+            profile[h] = values[sel].mean() if sel.any() else overall
+        return profile
+
+    def predict(self, t_h: float, horizon_h: float) -> float:
+        """Forecast intensity at ``t_h + horizon_h`` using history <= t_h."""
+        if horizon_h < 0:
+            raise ValueError(f"horizon must be non-negative, got {horizon_h}")
+        profile = self._climatology(t_h)
+        now = float(self.trace.at(t_h))
+        hod_now = int(t_h % 24.0)
+        hod_target = int((t_h + horizon_h) % 24.0)
+        anomaly = now - profile[hod_now]
+        decay = 0.5 ** (horizon_h / self.anomaly_halflife_h)
+        return float(profile[hod_target] + decay * anomaly)
+
+
+def forecast_mae(
+    forecaster,
+    trace: CarbonIntensityTrace,
+    horizon_h: float,
+    start_h: float | None = None,
+    step_h: float = 1.0,
+) -> float:
+    """Mean absolute forecast error over the trace at a fixed horizon.
+
+    Evaluates ``forecaster.predict(t, horizon_h)`` against the trace's true
+    value at ``t + horizon_h`` for every ``t`` in the evaluation window.
+    ``start_h`` defaults to one day in (so climatology has history).
+    """
+    if step_h <= 0:
+        raise ValueError(f"step must be positive, got {step_h}")
+    start = 24.0 if start_h is None else start_h
+    end = trace.end_h - horizon_h
+    if end <= start:
+        raise ValueError("trace too short for the requested horizon/window")
+    errors = []
+    t = start
+    while t <= end:
+        predicted = forecaster.predict(t, horizon_h)
+        actual = float(trace.at(t + horizon_h))
+        errors.append(abs(predicted - actual))
+        t += step_h
+    return float(np.mean(errors))

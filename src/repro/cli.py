@@ -1,0 +1,192 @@
+"""Command-line interface: ``clover-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the available experiments (tables/figures of the paper).
+``run``
+    Run one or more experiments and print their ASCII tables.
+``export``
+    Run experiments and write their tables to CSV/JSON files.
+``report``
+    Run every experiment and write one Markdown reproduction report.
+``demo``
+    A short end-to-end Clover run with a summary report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiments import EXPERIMENT_REGISTRY
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.reporting import render
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clover-repro",
+        description=(
+            "Reproduction of Clover (SC '23): carbon-aware ML inference "
+            "serving with mixed-quality models and MIG GPU partitioning."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one of: {', '.join(sorted(EXPERIMENT_REGISTRY))}, or 'all'",
+    )
+    run.add_argument(
+        "--fidelity",
+        default="default",
+        choices=("smoke", "default", "paper"),
+        help="simulation fidelity (default: %(default)s)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+
+    export = sub.add_parser(
+        "export", help="run experiments and write CSV/JSON tables"
+    )
+    export.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    export.add_argument("--out", default=".", help="output directory")
+    export.add_argument(
+        "--format", default="csv", choices=("csv", "json"), dest="fmt"
+    )
+    export.add_argument(
+        "--fidelity", default="default", choices=("smoke", "default", "paper")
+    )
+    export.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="write a full Markdown reproduction report"
+    )
+    report.add_argument("--out", default="REPORT.md")
+    report.add_argument(
+        "--fidelity", default="default", choices=("smoke", "default", "paper")
+    )
+    report.add_argument("--seed", type=int, default=0)
+
+    demo = sub.add_parser("demo", help="short end-to-end Clover run")
+    demo.add_argument("--application", default="classification")
+    demo.add_argument("--scheme", default="clover")
+    demo.add_argument("--hours", type=float, default=12.0)
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(EXPERIMENT_REGISTRY):
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENT_REGISTRY)
+    unknown = [n for n in names if n not in EXPERIMENT_REGISTRY]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(EXPERIMENT_REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+    runner = ExperimentRunner()
+    for name in names:
+        t0 = time.perf_counter()
+        result = EXPERIMENT_REGISTRY[name](runner, args.fidelity, args.seed)
+        dt = time.perf_counter() - t0
+        print(render(result, title=f"== {name} ({args.fidelity}, {dt:.1f}s) =="))
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.export import table_to_csv, table_to_json
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENT_REGISTRY)
+    unknown = [n for n in names if n not in EXPERIMENT_REGISTRY]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(EXPERIMENT_REGISTRY))}",
+            file=sys.stderr,
+        )
+        return 2
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = ExperimentRunner()
+    writer = table_to_csv if args.fmt == "csv" else table_to_json
+    for name in names:
+        result = EXPERIMENT_REGISTRY[name](runner, args.fidelity, args.seed)
+        path = out_dir / f"{name}.{args.fmt}"
+        writer(result, path)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    generate_report(fidelity=args.fidelity, seed=args.seed, out_path=args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.service import CarbonAwareInferenceService
+
+    service = CarbonAwareInferenceService.create(
+        application=args.application,
+        scheme=args.scheme,
+        fidelity="smoke",
+        seed=args.seed,
+    )
+    report = service.run(duration_h=args.hours)
+    print(f"scheme={report.scheme_name} application={report.application}")
+    print(f"  duration:          {report.duration_h:.1f} h")
+    print(f"  requests served:   {report.total_requests:,.0f}")
+    print(f"  energy:            {report.total_energy_j / 3.6e6:.2f} kWh")
+    print(f"  carbon:            {report.total_carbon_g:,.0f} gCO2")
+    print(f"  mean accuracy:     {report.mean_accuracy:.2f} "
+          f"(loss {report.accuracy_loss_pct:.2f}%)")
+    print(f"  p95 latency:       {report.p95_ms:.1f} ms "
+          f"(SLA {report.sla_target_ms:.1f} ms)")
+    print(f"  optimization time: {100 * report.optimization_fraction:.2f}% "
+          f"({len(report.invocations)} invocations, "
+          f"{report.total_evaluations} evaluations)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Clover's core: the paper's contribution (Sec. 4).
+
+* :mod:`repro.core.config` — the ``(x_p, x_v)`` optimization variables,
+* :mod:`repro.core.graph` — the configuration graph and GED (Sec. 4.2),
+* :mod:`repro.core.feasibility` — graph ↔ concrete deployment bridging,
+* :mod:`repro.core.objective` — Eqs. 1-3 and the SA energy (Eq. 6),
+* :mod:`repro.core.evaluator` — config → (accuracy, energy, p95), cached,
+* :mod:`repro.core.moves` — GED ≤ 4 neighbourhood sampling,
+* :mod:`repro.core.annealing` — simulated annealing and random search,
+* :mod:`repro.core.schemes` — BASE / CO2OPT / BLOVER / CLOVER / ORACLE,
+* :mod:`repro.core.controller` — the monitor → optimize → deploy loop,
+* :mod:`repro.core.service` — the public facade.
+"""
+
+from repro.core.config import (
+    ClusterConfig,
+    GpuAssignment,
+    uniform_config,
+    base_config,
+    co2opt_config,
+)
+from repro.core.graph import ConfigGraph, graph_edit_distance
+from repro.core.feasibility import graph_is_feasible, realize_graph
+from repro.core.objective import ObjectiveSpec, ObjectiveValue
+from repro.core.evaluator import ConfigEvaluator, Evaluation
+from repro.core.moves import MoveGenerator, partition_neighbors, GED_THRESHOLD
+from repro.core.annealing import (
+    SAParams,
+    OptimizationCostModel,
+    EvaluatedCandidate,
+    OptimizationResult,
+    simulated_annealing,
+    random_search,
+)
+from repro.core.schemes import (
+    Scheme,
+    BaseScheme,
+    Co2OptScheme,
+    BloverScheme,
+    CloverScheme,
+    OracleScheme,
+    make_scheme,
+    SCHEME_NAMES,
+    InvocationOutcome,
+    enumerate_standardized_configs,
+)
+from repro.core.controller import (
+    ServiceController,
+    RunResult,
+    EpochRecord,
+    InvocationRecord,
+    CandidateRecord,
+)
+from repro.core.pods import MultiApplicationService, PodSpec, FleetReport
+from repro.core.service import (
+    CarbonAwareInferenceService,
+    FidelityProfile,
+    Baseline,
+    derive_baseline,
+    PAPER_N_GPUS,
+    PAPER_LAMBDA,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "GpuAssignment",
+    "uniform_config",
+    "base_config",
+    "co2opt_config",
+    "ConfigGraph",
+    "graph_edit_distance",
+    "graph_is_feasible",
+    "realize_graph",
+    "ObjectiveSpec",
+    "ObjectiveValue",
+    "ConfigEvaluator",
+    "Evaluation",
+    "MoveGenerator",
+    "partition_neighbors",
+    "GED_THRESHOLD",
+    "SAParams",
+    "OptimizationCostModel",
+    "EvaluatedCandidate",
+    "OptimizationResult",
+    "simulated_annealing",
+    "random_search",
+    "Scheme",
+    "BaseScheme",
+    "Co2OptScheme",
+    "BloverScheme",
+    "CloverScheme",
+    "OracleScheme",
+    "make_scheme",
+    "SCHEME_NAMES",
+    "InvocationOutcome",
+    "enumerate_standardized_configs",
+    "ServiceController",
+    "RunResult",
+    "EpochRecord",
+    "InvocationRecord",
+    "CandidateRecord",
+    "MultiApplicationService",
+    "PodSpec",
+    "FleetReport",
+    "CarbonAwareInferenceService",
+    "FidelityProfile",
+    "Baseline",
+    "derive_baseline",
+    "PAPER_N_GPUS",
+    "PAPER_LAMBDA",
+]

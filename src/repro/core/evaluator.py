@@ -1,0 +1,265 @@
+"""Configuration evaluation: ``(x_p, x_v)`` → accuracy, energy, tail latency.
+
+The evaluator is the bridge between a candidate configuration and the three
+quantities Clover's objective consumes:
+
+* **accuracy** ``A(x)`` — the request-share-weighted average of the hosted
+  variants' accuracies (requests served by a bigger variant count with that
+  variant's accuracy),
+* **energy per request** ``E(x)`` — cluster average power (static per GPU +
+  per-slice dynamic x utilization) divided by throughput,
+* **p95 latency** ``L(x)`` — from the analytical queueing estimator
+  (optimizer inner loop) or the discrete-event simulator (measurement).
+
+Evaluations depend only on the configuration *graph* (the multiset of
+variant-on-slice-type placements plus the GPU count) — physical placement is
+irrelevant under MIG isolation, exactly the paper's compaction argument — so
+results are cached by graph key.  The cache is what makes ORACLE's
+exhaustive profiling and repeated SA invocations affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ClusterConfig
+from repro.core.graph import ConfigGraph
+from repro.models.perf import PerfModel
+from repro.models.zoo import ModelZoo
+from repro.serving.analytic import estimate_fifo
+from repro.serving.des import simulate_fifo
+from repro.serving.instance import DEFAULT_JITTER_CV
+from repro.serving.metrics import summarize
+from repro.serving.workload import PoissonWorkload
+from repro.utils.rng import RngMixer
+
+__all__ = ["Evaluation", "ConfigEvaluator"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Carbon-intensity-independent measurements of one configuration.
+
+    ``accuracy`` in the family's metric units, ``energy_per_request_j`` in
+    joules of IT energy (PUE applied later, in the objective), ``p95_ms``
+    end-to-end.  ``overloaded`` flags arrival rates beyond capacity — p95 is
+    infinite and the SLA can never be met.
+    """
+
+    accuracy: float
+    energy_per_request_j: float
+    p95_ms: float
+    power_watts: float
+    utilization: float
+    overloaded: bool
+    num_instances: int
+
+    @property
+    def feasible_latency(self) -> bool:
+        return not self.overloaded and np.isfinite(self.p95_ms)
+
+
+@dataclass
+class ConfigEvaluator:
+    """Evaluates configurations of one family at one arrival rate.
+
+    Parameters
+    ----------
+    zoo, perf:
+        Model zoo and performance model (the simulated testbed).
+    family:
+        Model family name being served.
+    rate_per_s:
+        Poisson arrival rate of user queries.
+    n_gpus:
+        Cluster size; static power scales with it.
+    method:
+        ``"analytic"`` (closed-form; the optimizer's inner loop) or
+        ``"des"`` (discrete-event simulation; measurement-grade).
+    des_requests:
+        Sample size per DES evaluation.
+    jitter_cv:
+        Service-time jitter for the DES.
+    seed:
+        Root seed for DES arrival/jitter streams; each distinct
+        configuration graph gets its own deterministic substream.
+    """
+
+    zoo: ModelZoo
+    perf: PerfModel
+    family: str
+    rate_per_s: float
+    n_gpus: int
+    method: str = "analytic"
+    des_requests: int = 4000
+    jitter_cv: float = DEFAULT_JITTER_CV
+    seed: int = 0
+    _cache: dict[bytes, Evaluation] = field(default_factory=dict, repr=False)
+    _num_variants: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("analytic", "des"):
+            raise ValueError(
+                f"method must be 'analytic' or 'des', got {self.method!r}"
+            )
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_per_s}")
+        if self.n_gpus <= 0:
+            raise ValueError(f"n_gpus must be positive, got {self.n_gpus}")
+        if self.des_requests <= 0:
+            raise ValueError(
+                f"des_requests must be positive, got {self.des_requests}"
+            )
+        self._num_variants = self.zoo.family(self.family).num_variants
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, config: ClusterConfig) -> Evaluation:
+        """Evaluate a configuration (cached by its configuration graph)."""
+        if config.family != self.family:
+            raise ValueError(
+                f"evaluator serves {self.family!r}, got a {config.family!r} config"
+            )
+        if config.n_gpus != self.n_gpus:
+            raise ValueError(
+                f"evaluator sized for {self.n_gpus} GPUs, got {config.n_gpus}"
+            )
+        graph = ConfigGraph.from_config(config, self._num_variants)
+        key = graph.key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._evaluate_graph(graph)
+        self._cache[key] = result
+        return result
+
+    def evaluate_graph(self, graph: ConfigGraph) -> Evaluation:
+        """Evaluate directly from a configuration graph (cached)."""
+        if graph.family != self.family:
+            raise ValueError(
+                f"evaluator serves {self.family!r}, got a {graph.family!r} graph"
+            )
+        key = graph.key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._evaluate_graph(graph)
+        self._cache[key] = result
+        return result
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _instance_arrays(
+        self, graph: ConfigGraph
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten a graph to per-instance (service_s, busy_watts, accuracy)."""
+        fam = self.zoo.family(self.family)
+        from repro.gpu.slices import SLICE_TYPES
+
+        service, watts, acc = [], [], []
+        for v_idx, s_idx in zip(*np.nonzero(graph.weights)):
+            variant = fam.variant(int(v_idx) + 1)
+            slice_type = SLICE_TYPES[int(s_idx)]
+            count = int(graph.weights[v_idx, s_idx])
+            service.extend([self.perf.latency_s(variant, slice_type)] * count)
+            watts.extend([self.perf.busy_watts(variant, slice_type)] * count)
+            acc.extend([variant.accuracy] * count)
+        if not service:
+            raise ValueError("configuration hosts no instances")
+        return (
+            np.asarray(service, dtype=np.float64),
+            np.asarray(watts, dtype=np.float64),
+            np.asarray(acc, dtype=np.float64),
+        )
+
+    def _evaluate_graph(self, graph: ConfigGraph) -> Evaluation:
+        service, watts, acc = self._instance_arrays(graph)
+        static_watts = self.perf.power.static_watts_per_gpu() * self.n_gpus
+
+        if self.method == "analytic":
+            return self._evaluate_analytic(service, watts, acc, static_watts)
+        return self._evaluate_des(graph, service, watts, acc, static_watts)
+
+    def _evaluate_analytic(
+        self,
+        service: np.ndarray,
+        watts: np.ndarray,
+        acc: np.ndarray,
+        static_watts: float,
+    ) -> Evaluation:
+        est = estimate_fifo(service, self.rate_per_s, self.jitter_cv)
+        if est.overloaded:
+            # Saturated: every instance busy; throughput capped at capacity.
+            capacity = float((1.0 / service).sum())
+            power = static_watts + float(watts.sum())
+            mu = 1.0 / service
+            shares = mu / mu.sum()
+            return Evaluation(
+                accuracy=float(np.dot(shares, acc)),
+                energy_per_request_j=power / capacity,
+                p95_ms=float("inf"),
+                power_watts=power,
+                utilization=est.utilization,
+                overloaded=True,
+                num_instances=int(service.size),
+            )
+        per_instance_rate = self.rate_per_s * est.shares
+        inst_util = np.clip(per_instance_rate * service, 0.0, 1.0)
+        power = static_watts + float(np.dot(inst_util, watts))
+        return Evaluation(
+            accuracy=float(np.dot(est.shares, acc)),
+            energy_per_request_j=power / self.rate_per_s,
+            p95_ms=est.p95_ms(),
+            power_watts=power,
+            utilization=est.utilization,
+            overloaded=False,
+            num_instances=int(service.size),
+        )
+
+    def _evaluate_des(
+        self,
+        graph: ConfigGraph,
+        service: np.ndarray,
+        watts: np.ndarray,
+        acc: np.ndarray,
+        static_watts: float,
+    ) -> Evaluation:
+        # Deterministic per-graph substream: the same configuration always
+        # sees the same arrivals, so cache hits and misses agree exactly
+        # (stable_hash keeps this reproducible across processes).
+        from repro.utils.rng import stable_hash
+
+        mixer = RngMixer(seed=self.seed)
+        rng = mixer.fork("des-eval", stable_hash(graph.key()))
+
+        workload = PoissonWorkload(self.rate_per_s)
+        arrivals = workload.arrivals_fixed_count(self.des_requests, rng)
+        batch = simulate_fifo(arrivals, service, self.jitter_cv, rng)
+        metrics = summarize(batch, n_instances=service.size)
+
+        # Overload diagnosis: the queue grows without bound iff capacity is
+        # below the arrival rate; finite simulations always "finish".
+        capacity = float((1.0 / service).sum())
+        overloaded = self.rate_per_s >= capacity
+
+        power = static_watts + float(np.dot(metrics.utilization, watts))
+        throughput = min(metrics.throughput_rps, self.rate_per_s)
+        return Evaluation(
+            accuracy=float(np.dot(metrics.shares, acc)),
+            energy_per_request_j=power / throughput,
+            p95_ms=float("inf") if overloaded else metrics.latency.p95_ms,
+            power_watts=power,
+            utilization=float(metrics.mean_utilization),
+            overloaded=overloaded,
+            num_instances=int(service.size),
+        )

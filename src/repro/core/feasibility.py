@@ -1,0 +1,84 @@
+"""Graph-space feasibility: which configuration graphs are realizable.
+
+A configuration graph is an abstraction; deploying it requires finding
+concrete per-GPU partitions whose slice histograms sum to the graph's
+slice histogram (exact cover over the 19 MIG configurations), and variants
+that respect the memory (OOM-edge) mask.  This module bridges the two
+representations:
+
+* :func:`graph_is_feasible` — the predicate the optimizer uses,
+* :func:`realize_graph` — graph → concrete :class:`ClusterConfig`
+  (deterministic, so realized deployments are reproducible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ClusterConfig, GpuAssignment
+from repro.core.graph import ConfigGraph
+from repro.gpu.cluster import decompose_histogram
+from repro.gpu.partitions import partition_by_id
+from repro.gpu.slices import SLICE_TYPES
+
+__all__ = ["graph_is_feasible", "realize_graph"]
+
+
+def graph_is_feasible(
+    graph: ConfigGraph, n_gpus: int, memory_mask: np.ndarray | None = None
+) -> bool:
+    """Whether ``graph`` can be deployed on ``n_gpus`` GPUs.
+
+    Checks (a) the OOM-edge rule when a memory mask is given and (b) that
+    the slice histogram decomposes into exactly ``n_gpus`` MIG partitions.
+    """
+    if memory_mask is not None and not graph.respects_memory(memory_mask):
+        return False
+    return decompose_histogram(graph.slice_histogram(), n_gpus) is not None
+
+
+def realize_graph(graph: ConfigGraph, n_gpus: int) -> ClusterConfig:
+    """Deterministically materialize a graph as a concrete configuration.
+
+    The slice histogram is decomposed into per-GPU partitions; within each
+    slice type, variant copies are dealt out in ascending ordinal order
+    across the partitions in decomposition order.  Any realization of the
+    same graph is observationally equivalent (the paper's compaction
+    argument), so determinism is purely for reproducibility.
+
+    Raises
+    ------
+    ValueError
+        If the histogram cannot be decomposed into ``n_gpus`` partitions.
+    """
+    partition_ids = decompose_histogram(graph.slice_histogram(), n_gpus)
+    if partition_ids is None:
+        raise ValueError(
+            f"slice histogram {graph.slice_histogram().tolist()} is not "
+            f"realizable on {n_gpus} GPUs"
+        )
+
+    # Per slice type, the queue of variant ordinals to deal out.
+    queues: list[list[int]] = []
+    for s in range(len(SLICE_TYPES)):
+        col = graph.weights[:, s]
+        queue: list[int] = []
+        for v_idx in range(graph.num_variants):
+            queue.extend([v_idx + 1] * int(col[v_idx]))
+        queues.append(queue)
+    positions = [0] * len(SLICE_TYPES)
+
+    assignments: list[GpuAssignment] = []
+    for pid in partition_ids:
+        partition = partition_by_id(pid)
+        ordinals: list[int] = []
+        for slice_type in partition.slices:
+            idx = slice_type.index
+            ordinals.append(queues[idx][positions[idx]])
+            positions[idx] += 1
+        assignments.append(
+            GpuAssignment(partition_id=pid, variant_ordinals=tuple(ordinals))
+        )
+
+    config = ClusterConfig(family=graph.family, assignments=tuple(assignments))
+    return config.canonical()

@@ -1,0 +1,167 @@
+"""Clover's optimization objective (Eqs. 1-3) and SA energy (Eq. 6).
+
+All deltas are expressed in **percent**, matching the paper's worked example
+(Fig. 6): with ``lambda = 0.1``, ``C_base = 1000`` and config A's
+``E * ci = 200``, ``DeltaCarbon = 80`` and the objective is
+``0.1 * 80 + 0.9 * (-4.0) = 4.4``.
+
+Known paper inconsistency (documented in DESIGN.md): Fig. 6 prints 3.2 for
+config B at ``ci = 500``, but Eq. 3 with the stated inputs gives
+``0.1 * 40 + 0.9 * (-2.0) = 2.2``.  We reproduce the computed values — the
+preference ordering between the example configs is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp
+
+from repro.carbon.accounting import DEFAULT_PUE, carbon_grams
+from repro.serving.sla import SlaPolicy
+
+__all__ = ["ObjectiveSpec", "ObjectiveValue"]
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """The scored components of one configuration at one carbon intensity."""
+
+    delta_accuracy_pct: float
+    delta_carbon_pct: float
+    f: float
+    sa_energy: float
+    sla_met: bool
+    accuracy_ok: bool
+
+    @property
+    def deployable(self) -> bool:
+        """Whether this configuration may be deployed (hard constraints)."""
+        return self.sla_met and self.accuracy_ok
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """The service provider's objective: Eq. 3 plus the Eq. 5 constraint.
+
+    Attributes
+    ----------
+    lambda_weight:
+        The paper's ``lambda`` in [0, 1]: weight of carbon vs accuracy.
+    a_base:
+        Baseline accuracy ``A_base`` — the highest-quality variant's metric.
+    c_base:
+        Baseline carbon per request in gCO2 (BASE energy per request at the
+        baseline carbon intensity, including PUE).  Configurable; it only
+        rescales ``DeltaCarbon`` and never changes the argmax at fixed ci.
+    sla:
+        The p95 tail-latency constraint.
+    pue:
+        Facility multiplier applied when converting energy to carbon.
+    accuracy_floor_pct:
+        Optional hard cap on accuracy loss in percent (Fig. 14b's
+        "allowed accuracy loss" mode): configurations with
+        ``DeltaAccuracy < -accuracy_floor_pct`` are not deployable.
+    """
+
+    lambda_weight: float
+    a_base: float
+    c_base: float
+    sla: SlaPolicy
+    pue: float = DEFAULT_PUE
+    accuracy_floor_pct: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lambda_weight <= 1.0:
+            raise ValueError(
+                f"lambda must be in [0, 1], got {self.lambda_weight}"
+            )
+        if self.a_base <= 0:
+            raise ValueError(f"A_base must be positive, got {self.a_base}")
+        if self.c_base <= 0:
+            raise ValueError(f"C_base must be positive, got {self.c_base}")
+        if self.accuracy_floor_pct is not None and self.accuracy_floor_pct < 0:
+            raise ValueError(
+                f"accuracy floor must be non-negative, got {self.accuracy_floor_pct}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Eq. 1 and Eq. 2
+    # ------------------------------------------------------------------ #
+
+    def delta_accuracy(self, accuracy: float) -> float:
+        """Eq. 1: relative accuracy change vs ``A_base``, in percent (<= 0)."""
+        return (accuracy - self.a_base) / self.a_base * 100.0
+
+    def carbon_per_request(self, energy_per_request_j: float, ci: float) -> float:
+        """``E(x) * ci`` in gCO2 per request (with PUE), the Eq. 2 numerator."""
+        return carbon_grams(energy_per_request_j, ci, self.pue)
+
+    def delta_carbon(self, energy_per_request_j: float, ci: float) -> float:
+        """Eq. 2: relative carbon reduction vs ``C_base``, in percent."""
+        if ci <= 0:
+            raise ValueError(f"carbon intensity must be positive, got {ci}")
+        c = self.carbon_per_request(energy_per_request_j, ci)
+        return (self.c_base - c) / self.c_base * 100.0
+
+    # ------------------------------------------------------------------ #
+    # Eq. 3 and Eq. 6
+    # ------------------------------------------------------------------ #
+
+    def f(self, accuracy: float, energy_per_request_j: float, ci: float) -> float:
+        """Eq. 3: ``lambda * DeltaCarbon + (1 - lambda) * DeltaAccuracy``."""
+        return (
+            self.lambda_weight * self.delta_carbon(energy_per_request_j, ci)
+            + (1.0 - self.lambda_weight) * self.delta_accuracy(accuracy)
+        )
+
+    def score(
+        self,
+        accuracy: float,
+        energy_per_request_j: float,
+        p95_ms: float,
+        ci: float,
+    ) -> ObjectiveValue:
+        """Full scoring of a configuration: Eqs. 1-3 plus Eq. 6's energy.
+
+        ``sa_energy`` is ``h(x) = -f(x) * min(1, L_tail / L(x))`` — the
+        quantity simulated annealing minimizes.  When the optional accuracy
+        floor is active, a violating configuration receives an analogous
+        smooth multiplicative penalty and is marked non-deployable.
+        """
+        d_acc = self.delta_accuracy(accuracy)
+        d_carbon = self.delta_carbon(energy_per_request_j, ci)
+        f = self.lambda_weight * d_carbon + (1.0 - self.lambda_weight) * d_acc
+
+        sla_met = self.sla.is_met(p95_ms)
+        penalty = self.sla.sa_penalty(p95_ms)
+
+        accuracy_ok = True
+        if self.accuracy_floor_pct is not None and d_acc < -self.accuracy_floor_pct:
+            accuracy_ok = False
+            floor_accuracy = self.a_base * (1.0 - self.accuracy_floor_pct / 100.0)
+            if accuracy > 0:
+                penalty *= min(1.0, accuracy / floor_accuracy)
+
+        return ObjectiveValue(
+            delta_accuracy_pct=d_acc,
+            delta_carbon_pct=d_carbon,
+            f=f,
+            sa_energy=-f * penalty,
+            sla_met=sla_met,
+            accuracy_ok=accuracy_ok,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Eq. 7 (Metropolis acceptance)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def acceptance_probability(
+        h_current: float, h_candidate: float, temperature: float
+    ) -> float:
+        """Eq. 7: ``P = exp(-(h' - h) / T)``, clipped to [0, 1]."""
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if h_candidate <= h_current:
+            return 1.0
+        return exp(-(h_candidate - h_current) / temperature)

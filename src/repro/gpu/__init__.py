@@ -1,0 +1,45 @@
+"""Simulated MIG-capable GPU substrate.
+
+This package models the hardware the Clover paper runs on: NVIDIA A100-40GB
+GPUs with Multi-Instance GPU (MIG) partitioning.  It provides
+
+* the five MIG slice types (:mod:`repro.gpu.slices`),
+* the 19 valid partition configurations of an A100 (:mod:`repro.gpu.partitions`),
+* a stateful GPU device with repartitioning costs (:mod:`repro.gpu.device`),
+* the idle + dynamic power model (:mod:`repro.gpu.power`), and
+* a multi-GPU cluster with slice-histogram feasibility (:mod:`repro.gpu.cluster`).
+"""
+
+from repro.gpu.slices import SliceType, SLICE_TYPES, slice_by_name
+from repro.gpu.partitions import (
+    MigPartition,
+    MIG_PARTITIONS,
+    partition_by_id,
+    partition_histogram,
+    FULL_GPU_PARTITION_ID,
+    FINEST_PARTITION_ID,
+    NUM_PARTITIONS,
+)
+from repro.gpu.device import GpuDevice, GpuSpec, A100_40GB
+from repro.gpu.power import PowerModel
+from repro.gpu.cluster import GpuCluster, decompose_histogram, histogram_is_feasible
+
+__all__ = [
+    "SliceType",
+    "SLICE_TYPES",
+    "slice_by_name",
+    "MigPartition",
+    "MIG_PARTITIONS",
+    "partition_by_id",
+    "partition_histogram",
+    "FULL_GPU_PARTITION_ID",
+    "FINEST_PARTITION_ID",
+    "NUM_PARTITIONS",
+    "GpuDevice",
+    "GpuSpec",
+    "A100_40GB",
+    "PowerModel",
+    "GpuCluster",
+    "decompose_histogram",
+    "histogram_is_feasible",
+]

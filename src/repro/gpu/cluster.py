@@ -1,0 +1,182 @@
+"""Multi-GPU cluster and slice-histogram feasibility.
+
+Clover's graph representation collapses a cluster configuration into a
+slice-type histogram (how many ``1g`` .. ``7g`` slices exist cluster-wide).
+The histogram is only *realizable* if it can be written as the sum of exactly
+``n`` per-GPU partition histograms, one of the 19 MIG configurations per GPU.
+:func:`decompose_histogram` solves that exact-cover problem with a memoized
+depth-first search; :func:`histogram_is_feasible` is the boolean wrapper the
+optimizer uses to reject unrealizable graphs.
+
+The search de-duplicates GPU orderings by forcing the chosen partition ids to
+be non-increasing, which keeps the memo small: for the paper's 10-GPU testbed
+the full reachable state space is a few thousand entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.gpu.device import A100_40GB, GpuDevice, GpuSpec
+from repro.gpu.partitions import (
+    ALL_PARTITION_HISTOGRAMS,
+    NUM_PARTITIONS,
+    partition_by_id,
+)
+from repro.gpu.slices import SLICE_TYPES
+
+__all__ = [
+    "GpuCluster",
+    "decompose_histogram",
+    "histogram_is_feasible",
+    "max_slices",
+    "min_slices",
+]
+
+#: Histogram rows as plain tuples, indexed by config_id - 1 (cache-friendly).
+_PARTITION_HISTS: tuple[tuple[int, ...], ...] = tuple(
+    tuple(int(x) for x in row) for row in ALL_PARTITION_HISTOGRAMS
+)
+
+#: Instance count of each partition, indexed by config_id - 1.
+_PARTITION_SIZES: tuple[int, ...] = tuple(sum(h) for h in _PARTITION_HISTS)
+
+_MAX_SLICES_PER_GPU = max(_PARTITION_SIZES)
+_MIN_SLICES_PER_GPU = min(_PARTITION_SIZES)
+
+
+def max_slices(n_gpus: int) -> int:
+    """Most service instances ``n_gpus`` can host (config 19 everywhere)."""
+    return n_gpus * _MAX_SLICES_PER_GPU
+
+
+def min_slices(n_gpus: int) -> int:
+    """Fewest service instances ``n_gpus`` can host (one 7g slice per GPU)."""
+    return n_gpus * _MIN_SLICES_PER_GPU
+
+
+def _normalize_histogram(histogram) -> tuple[int, ...]:
+    h = tuple(int(x) for x in np.asarray(histogram).ravel())
+    if len(h) != len(SLICE_TYPES):
+        raise ValueError(
+            f"histogram must have {len(SLICE_TYPES)} entries (1g..7g), got {len(h)}"
+        )
+    if any(x < 0 for x in h):
+        raise ValueError(f"histogram counts must be non-negative, got {h}")
+    return h
+
+
+@lru_cache(maxsize=200_000)
+def _decompose(h: tuple[int, ...], n: int, max_id: int) -> tuple[int, ...] | None:
+    """Write ``h`` as the sum of ``n`` partition histograms with ids <= max_id.
+
+    Returns the chosen (non-increasing) partition ids, or ``None``.
+    """
+    total = sum(h)
+    if n == 0:
+        return () if total == 0 else None
+    # Every GPU hosts between 1 and 7 slices, so the remaining instance count
+    # brackets the remaining GPU count.
+    if total < n * _MIN_SLICES_PER_GPU or total > n * _MAX_SLICES_PER_GPU:
+        return None
+    for pid in range(max_id, 0, -1):
+        ph = _PARTITION_HISTS[pid - 1]
+        if all(hc >= pc for hc, pc in zip(h, ph)):
+            rest = _decompose(
+                tuple(hc - pc for hc, pc in zip(h, ph)), n - 1, pid
+            )
+            if rest is not None:
+                return (pid,) + rest
+    return None
+
+
+def decompose_histogram(histogram, n_gpus: int) -> tuple[int, ...] | None:
+    """Split a cluster slice histogram into per-GPU MIG partition ids.
+
+    Parameters
+    ----------
+    histogram:
+        Length-5 counts of slice types (index = ``SliceType.index``,
+        i.e. ``[#1g, #2g, #3g, #4g, #7g]``).
+    n_gpus:
+        Number of GPUs that must each receive exactly one partition.
+
+    Returns
+    -------
+    A tuple of ``n_gpus`` partition config ids (non-increasing) whose
+    histograms sum to ``histogram``, or ``None`` if no decomposition exists.
+    """
+    if n_gpus < 0:
+        raise ValueError(f"n_gpus must be non-negative, got {n_gpus}")
+    h = _normalize_histogram(histogram)
+    return _decompose(h, n_gpus, NUM_PARTITIONS)
+
+
+def histogram_is_feasible(histogram, n_gpus: int) -> bool:
+    """Whether ``histogram`` is realizable on exactly ``n_gpus`` GPUs."""
+    return decompose_histogram(histogram, n_gpus) is not None
+
+
+@dataclass
+class GpuCluster:
+    """A pool of identical MIG-capable GPUs (the paper's 10×A100 testbed).
+
+    The cluster owns the devices and exposes aggregate views the serving and
+    optimization layers need: the flattened slice inventory and the
+    cluster-wide slice histogram.
+    """
+
+    n_gpus: int
+    spec: GpuSpec = A100_40GB
+    devices: list[GpuDevice] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus <= 0:
+            raise ValueError(f"cluster needs at least one GPU, got {self.n_gpus}")
+        self.devices = [GpuDevice(gpu_id=i, spec=self.spec) for i in range(self.n_gpus)]
+
+    @property
+    def partition_ids(self) -> tuple[int, ...]:
+        """Current MIG configuration id of every GPU."""
+        return tuple(d.partition_id for d in self.devices)
+
+    def apply_partitions(self, partition_ids: list[int] | tuple[int, ...]) -> float:
+        """Repartition every GPU; returns the worst-case downtime in seconds.
+
+        GPUs repartition in parallel (each has its own MIG control), so the
+        service-visible downtime is the maximum over devices, not the sum.
+        """
+        if len(partition_ids) != self.n_gpus:
+            raise ValueError(
+                f"expected {self.n_gpus} partition ids, got {len(partition_ids)}"
+            )
+        downtimes = [
+            dev.repartition(pid) for dev, pid in zip(self.devices, partition_ids)
+        ]
+        return max(downtimes, default=0.0)
+
+    def slice_inventory(self):
+        """All slices in the cluster as ``(gpu_id, slice_type)`` pairs."""
+        return [
+            (dev.gpu_id, s) for dev in self.devices for s in dev.partition.slices
+        ]
+
+    def histogram(self) -> np.ndarray:
+        """Cluster-wide slice-type histogram (len-5 int array)."""
+        h = np.zeros(len(SLICE_TYPES), dtype=np.int64)
+        for dev in self.devices:
+            h += dev.partition.histogram()
+        return h
+
+    @property
+    def total_instances(self) -> int:
+        """Number of service instances the current partitioning hosts."""
+        return sum(d.num_instances for d in self.devices)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``'10xA100-40GB [#1, #1, ...]'``."""
+        parts = ", ".join(str(partition_by_id(p)) for p in self.partition_ids)
+        return f"{self.n_gpus}x{self.spec.name} [{parts}]"

@@ -1,0 +1,100 @@
+"""A single simulated MIG-capable GPU device.
+
+The device tracks its current partition and models the operational cost of
+repartitioning (the paper includes "the time taken to re-partition the
+hardware and reinitialize the new service instances" in all reported
+results).  Repartitioning an A100 requires destroying the existing GPU
+instances, creating new ones, and reloading model weights into each slice —
+tens of seconds in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.partitions import (
+    FULL_GPU_PARTITION_ID,
+    MigPartition,
+    partition_by_id,
+)
+from repro.gpu.slices import SliceType
+
+__all__ = ["GpuSpec", "GpuDevice", "A100_40GB"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU model.
+
+    ``peak_tflops`` is the dense FP16/TF32 tensor throughput used by the
+    analytical latency model; ``memory_gb`` bounds model residency.
+    """
+
+    name: str
+    peak_tflops: float
+    memory_gb: float
+    repartition_seconds: float = 12.0
+    model_load_seconds: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.peak_tflops <= 0 or self.memory_gb <= 0:
+            raise ValueError("GPU spec must have positive throughput and memory")
+        if self.repartition_seconds < 0 or self.model_load_seconds < 0:
+            raise ValueError("reconfiguration costs must be non-negative")
+
+
+#: The testbed GPU of the paper: A100-40GB (19.5 TF32 TFLOPs sustained).
+A100_40GB = GpuSpec(name="A100-40GB", peak_tflops=19.5, memory_gb=40.0)
+
+
+@dataclass
+class GpuDevice:
+    """A stateful GPU: identity, spec, and current MIG partition."""
+
+    gpu_id: int
+    spec: GpuSpec = A100_40GB
+    partition_id: int = FULL_GPU_PARTITION_ID
+    reconfig_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        partition_by_id(self.partition_id)  # validates the id
+
+    @property
+    def partition(self) -> MigPartition:
+        """The currently applied MIG partition."""
+        return partition_by_id(self.partition_id)
+
+    @property
+    def slices(self) -> tuple[SliceType, ...]:
+        """Slice types currently exposed by this GPU, largest first."""
+        return self.partition.slices
+
+    @property
+    def num_instances(self) -> int:
+        """How many service instances the current partition hosts."""
+        return self.partition.num_instances
+
+    def repartition(self, new_partition_id: int) -> float:
+        """Apply a new MIG configuration; returns the downtime in seconds.
+
+        Repartitioning to the *same* configuration is free (Clover does not
+        touch GPUs whose assignment is unchanged); otherwise the device is
+        down for the MIG reconfiguration plus one model load per new slice.
+        """
+        new_partition = partition_by_id(new_partition_id)
+        if new_partition_id == self.partition_id:
+            return 0.0
+        self.partition_id = new_partition_id
+        self.reconfig_count += 1
+        return (
+            self.spec.repartition_seconds
+            + self.spec.model_load_seconds * new_partition.num_instances
+        )
+
+    def reload_models(self, num_slices_changed: int) -> float:
+        """Cost of swapping model variants without repartitioning."""
+        if num_slices_changed < 0 or num_slices_changed > self.num_instances:
+            raise ValueError(
+                f"cannot reload {num_slices_changed} of {self.num_instances} slices"
+            )
+        return self.spec.model_load_seconds * num_slices_changed

@@ -1,0 +1,201 @@
+"""The 19 MIG partition configurations of an NVIDIA A100 (paper Fig. 1).
+
+A *partition configuration* is a multiset of slice types that can be placed
+simultaneously on one GPU.  Placement feasibility on the A100 requires
+
+* total compute slots <= 7,
+* total memory slices <= 8,
+* a geometric placement: ``4g`` occupies compute slots 0-3, ``3g`` occupies
+  slots 0-2 or 4-6, ``2g`` occupies an aligned pair {0-1, 2-3, 4-5}, ``1g``
+  any single slot, ``7g`` everything.
+
+The Clover paper (and NVIDIA's MIG guide it redraws) enumerates **19**
+configurations.  The paper pins four of them to indices we honour exactly:
+
+* config **1**  = ``{7g}``                       (full GPU, "C1" in Fig. 3)
+* config **3**  = ``{4g, 2g, 1g}``               ("C2" in Fig. 3)
+* config **10** = ``{3g, 2g, 1g, 1g}``           (example in Sec. 2)
+* config **19** = ``{1g} * 7``                   ("C3" in Fig. 3, CO2OPT)
+
+Our table lists every placement-valid multiset, ordered by coarsest slice
+descending and then by partition count, which reproduces all four anchors.
+The enumeration is validated structurally by the test-suite (placement
+feasibility of each entry, anchor positions, and exhaustiveness of the
+maximal configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.slices import (
+    COMPUTE_SLOTS_PER_GPU,
+    MEMORY_SLICES_PER_GPU,
+    SLICE_TYPES,
+    SliceType,
+    slice_by_name,
+)
+
+__all__ = [
+    "MigPartition",
+    "MIG_PARTITIONS",
+    "NUM_PARTITIONS",
+    "FULL_GPU_PARTITION_ID",
+    "FINEST_PARTITION_ID",
+    "partition_by_id",
+    "partition_histogram",
+    "placement_feasible",
+    "ALL_PARTITION_HISTOGRAMS",
+]
+
+
+@dataclass(frozen=True)
+class MigPartition:
+    """One of the 19 MIG partition configurations.
+
+    Attributes
+    ----------
+    config_id:
+        1-based index matching the paper's Fig. 1 numbering.
+    slices:
+        The slice types of the partition, largest first.
+    """
+
+    config_id: int
+    slices: tuple[SliceType, ...]
+
+    @property
+    def num_instances(self) -> int:
+        """Number of service instances this partition can host (one per slice)."""
+        return len(self.slices)
+
+    @property
+    def compute_slots_used(self) -> int:
+        return sum(s.compute_slots for s in self.slices)
+
+    @property
+    def memory_slices_used(self) -> int:
+        return sum(s.memory_slices for s in self.slices)
+
+    def histogram(self) -> np.ndarray:
+        """Counts of each slice type, indexed by ``SliceType.index`` (len 5)."""
+        h = np.zeros(len(SLICE_TYPES), dtype=np.int64)
+        for s in self.slices:
+            h[s.index] += 1
+        return h
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(s.name for s in self.slices)
+        return f"#{self.config_id}:{{{inner}}}"
+
+
+def placement_feasible(slices: tuple[SliceType, ...]) -> bool:
+    """Check whether a multiset of slices can be placed on one A100.
+
+    Encodes the A100 geometry: the 7 compute slots split into a left half
+    (slots 0-3: hosts ``4g``, up to two ``2g``, or ``1g``s) and a right half
+    (slots 4-6: hosts ``3g``, one ``2g``, or ``1g``s).  ``3g`` may also sit in
+    the left half (slots 0-2).  ``7g`` must be alone.
+    """
+    counts = {name: 0 for name in ("1g", "2g", "3g", "4g", "7g")}
+    for s in slices:
+        counts[s.name] += 1
+
+    compute = sum(s.compute_slots for s in slices)
+    memory = sum(s.memory_slices for s in slices)
+    if compute > COMPUTE_SLOTS_PER_GPU or memory > MEMORY_SLICES_PER_GPU:
+        return False
+    if counts["7g"] > 0:
+        return len(slices) == 1
+    if counts["4g"] > 1 or counts["3g"] > 2:
+        return False
+    if counts["4g"] == 1 and counts["3g"] > 1:
+        return False  # 4g takes the whole left half; only one 3g fits right
+
+    # Left half (4 slots) and right half (3 slots).  4g -> left only;
+    # one 3g can take either half; 2g pairs: two fit left, one fits right.
+    if counts["4g"] == 1:
+        left_free, right_free = 0, 3
+        threes_right = counts["3g"]
+    elif counts["3g"] == 2:
+        left_free, right_free = 1, 0  # 3g left (0-2) + 3g right (4-6); slot 3 free
+        threes_right = 0
+    elif counts["3g"] == 1:
+        left_free, right_free = 4, 0  # place the 3g right; left fully free
+        threes_right = 0
+    else:
+        left_free, right_free = 4, 3
+        threes_right = 0
+    del threes_right
+
+    twos = counts["2g"]
+    # 2g placements: left half supports floor(left_free/2) aligned pairs,
+    # right half supports one pair (slots 4-5) when fully free.
+    twos_left_cap = left_free // 2
+    twos_right_cap = 1 if right_free == 3 else 0
+    if twos > twos_left_cap + twos_right_cap:
+        return False
+    twos_left = min(twos, twos_left_cap)
+    twos_right = twos - twos_left
+    ones_cap = (left_free - 2 * twos_left) + (right_free - 2 * twos_right)
+    return counts["1g"] <= ones_cap
+
+
+def _build_partitions() -> tuple[MigPartition, ...]:
+    """Construct the canonical 19-entry table (see module docstring)."""
+    raw: list[tuple[str, ...]] = [
+        ("7g",),                                   # 1  (paper anchor: full GPU)
+        ("4g", "3g"),                              # 2
+        ("4g", "2g", "1g"),                        # 3  (paper anchor: C2)
+        ("4g", "2g"),                              # 4
+        ("4g", "1g", "1g", "1g"),                  # 5
+        ("4g", "1g", "1g"),                        # 6
+        ("4g", "1g"),                              # 7
+        ("3g", "3g"),                              # 8
+        ("3g", "2g", "2g"),                        # 9
+        ("3g", "2g", "1g", "1g"),                  # 10 (paper anchor: Sec. 2)
+        ("3g", "2g", "1g"),                        # 11
+        ("3g", "1g", "1g", "1g", "1g"),            # 12
+        ("2g", "2g", "2g", "1g"),                  # 13
+        ("2g", "2g", "2g"),                        # 14
+        ("2g", "2g", "1g", "1g", "1g"),            # 15
+        ("2g", "2g", "1g", "1g"),                  # 16
+        ("2g", "1g", "1g", "1g", "1g", "1g"),      # 17
+        ("1g",) * 6,                               # 18
+        ("1g",) * 7,                               # 19 (paper anchor: C3)
+    ]
+    partitions = []
+    for i, names in enumerate(raw, start=1):
+        slices = tuple(slice_by_name(n) for n in names)
+        if not placement_feasible(slices):  # defensive: table must be valid
+            raise AssertionError(f"partition table entry {i} is not placeable")
+        partitions.append(MigPartition(config_id=i, slices=slices))
+    return tuple(partitions)
+
+
+MIG_PARTITIONS: tuple[MigPartition, ...] = _build_partitions()
+NUM_PARTITIONS = len(MIG_PARTITIONS)
+FULL_GPU_PARTITION_ID = 1
+FINEST_PARTITION_ID = 19
+
+#: (19, 5) int matrix: row c-1 is the slice-type histogram of config c.
+ALL_PARTITION_HISTOGRAMS: np.ndarray = np.stack(
+    [p.histogram() for p in MIG_PARTITIONS]
+)
+ALL_PARTITION_HISTOGRAMS.setflags(write=False)
+
+
+def partition_by_id(config_id: int) -> MigPartition:
+    """Return the partition for a 1-based config id (paper Fig. 1 numbering)."""
+    if not 1 <= config_id <= NUM_PARTITIONS:
+        raise ValueError(
+            f"MIG config id must be in [1, {NUM_PARTITIONS}], got {config_id}"
+        )
+    return MIG_PARTITIONS[config_id - 1]
+
+
+def partition_histogram(config_id: int) -> np.ndarray:
+    """Slice-type histogram (len-5 int array) of a 1-based config id."""
+    return ALL_PARTITION_HISTOGRAMS[config_id - 1].copy()

@@ -1,0 +1,94 @@
+"""MIG slice types of an NVIDIA A100-40GB.
+
+An A100 exposes 7 compute slots and 8 memory slices (5 GB each).  The five
+MIG profiles ("slice types" in the Clover paper, Fig. 1) consume fixed
+numbers of each:
+
+============  =============  ============  ==========
+profile       compute slots  mem slices    memory
+============  =============  ============  ==========
+``1g.5gb``    1              1             5 GB
+``2g.10gb``   2              2             10 GB
+``3g.20gb``   3              4             20 GB
+``4g.20gb``   4              4             20 GB
+``7g.40gb``   7              8             40 GB
+============  =============  ============  ==========
+
+(The asymmetric memory of 3g — 4 memory slices for 3 compute slots — is what
+makes two ``3g.20gb`` instances exhaust the GPU's memory and is why the real
+A100 cannot add a 1g slice next to a 3g+3g split.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SliceType",
+    "SLICE_TYPES",
+    "SLICE_NAME_TO_INDEX",
+    "slice_by_name",
+    "COMPUTE_SLOTS_PER_GPU",
+    "MEMORY_SLICES_PER_GPU",
+    "MEMORY_GB_PER_SLICE",
+]
+
+COMPUTE_SLOTS_PER_GPU = 7
+MEMORY_SLICES_PER_GPU = 8
+MEMORY_GB_PER_SLICE = 5.0
+
+
+@dataclass(frozen=True, order=True)
+class SliceType:
+    """One MIG profile.
+
+    Attributes
+    ----------
+    compute_slots:
+        Number of the GPU's 7 compute slots the profile occupies.  Also the
+        profile's "g number" (1g, 2g, ...).
+    memory_slices:
+        Number of the GPU's 8 memory slices (5 GB each) the profile occupies.
+    name:
+        Short name used throughout the paper's figures: ``"1g"`` .. ``"7g"``.
+    index:
+        Dense index 0..4 used for vectorized weight matrices (graph edges).
+    """
+
+    compute_slots: int
+    memory_slices: int
+    name: str
+    index: int
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the full GPU's compute this slice provides."""
+        return self.compute_slots / COMPUTE_SLOTS_PER_GPU
+
+    @property
+    def memory_gb(self) -> float:
+        """Dedicated memory of the slice in GB."""
+        return self.memory_slices * MEMORY_GB_PER_SLICE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+SLICE_TYPES: tuple[SliceType, ...] = (
+    SliceType(compute_slots=1, memory_slices=1, name="1g", index=0),
+    SliceType(compute_slots=2, memory_slices=2, name="2g", index=1),
+    SliceType(compute_slots=3, memory_slices=4, name="3g", index=2),
+    SliceType(compute_slots=4, memory_slices=4, name="4g", index=3),
+    SliceType(compute_slots=7, memory_slices=8, name="7g", index=4),
+)
+
+SLICE_NAME_TO_INDEX: dict[str, int] = {s.name: s.index for s in SLICE_TYPES}
+
+
+def slice_by_name(name: str) -> SliceType:
+    """Look a slice type up by its short name (``"3g"``)."""
+    try:
+        return SLICE_TYPES[SLICE_NAME_TO_INDEX[name]]
+    except KeyError:
+        valid = ", ".join(s.name for s in SLICE_TYPES)
+        raise KeyError(f"unknown MIG slice type {name!r}; valid: {valid}") from None

@@ -1,0 +1,37 @@
+"""Model-zoo substrate: the paper's Table-1 families and their performance.
+
+Provides the mixed-quality model variants Clover optimizes over:
+
+* :mod:`repro.models.variants` — the :class:`ModelVariant` record,
+* :mod:`repro.models.families` — YOLOv5 / ALBERT / EfficientNet families,
+* :mod:`repro.models.zoo` — the registry with memory-feasibility masks,
+* :mod:`repro.models.perf` — analytical latency & power on MIG slices.
+"""
+
+from repro.models.variants import ModelVariant
+from repro.models.families import (
+    ModelFamily,
+    YOLOV5,
+    ALBERT,
+    EFFICIENTNET,
+    ALL_FAMILIES,
+    APPLICATIONS,
+    family_for_application,
+)
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.models.perf import PerfModel, OutOfMemoryError
+
+__all__ = [
+    "ModelVariant",
+    "ModelFamily",
+    "YOLOV5",
+    "ALBERT",
+    "EFFICIENTNET",
+    "ALL_FAMILIES",
+    "APPLICATIONS",
+    "family_for_application",
+    "ModelZoo",
+    "default_zoo",
+    "PerfModel",
+    "OutOfMemoryError",
+]

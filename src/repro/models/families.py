@@ -1,0 +1,214 @@
+"""The three Table-1 model families of the Clover paper.
+
+============  ==================  ===============  =============================
+Application   Dataset             Architecture     Variants
+============  ==================  ===============  =============================
+detection     MS COCO             YOLOv5           YOLOv5l, YOLOv5x, YOLOv5x6
+language      SQuADv2             ALBERT           v2-base/large/xlarge/xxlarge
+classification ImageNet           EfficientNet     B1, B3, B5, B7
+============  ==================  ===============  =============================
+
+Accuracy, parameter counts and GFLOPs come from the public repositories the
+paper cites (Ultralytics YOLOv5, google-research/albert, EfficientNet-PyTorch).
+Latency/saturation/power profiles are calibrated for the simulated A100 (see
+:mod:`repro.models.variants` and DESIGN.md): they are synthetic but shaped so
+that (a) large variants saturate the GPU and slow several-fold on 1g slices
+while small variants barely notice, and (b) the largest YOLOv5 and ALBERT
+variants exceed the 5 GB of a 1g slice, exercising the paper's OOM edge rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.variants import ModelVariant
+
+__all__ = [
+    "ModelFamily",
+    "YOLOV5",
+    "ALBERT",
+    "EFFICIENTNET",
+    "ALL_FAMILIES",
+    "APPLICATIONS",
+    "family_for_application",
+]
+
+
+@dataclass(frozen=True)
+class ModelFamily:
+    """A model architecture family: ordered variants plus task metadata."""
+
+    name: str
+    application: str
+    dataset: str
+    architecture: str
+    metric: str
+    variants: tuple[ModelVariant, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"family {self.name!r} must have at least one variant")
+        ordinals = [v.ordinal for v in self.variants]
+        if ordinals != list(range(1, len(self.variants) + 1)):
+            raise ValueError(
+                f"family {self.name!r} variants must have ordinals 1..{len(self.variants)}"
+                f" in order, got {ordinals}"
+            )
+        if any(v.family != self.name for v in self.variants):
+            raise ValueError(f"all variants must declare family {self.name!r}")
+        accs = [v.accuracy for v in self.variants]
+        if accs != sorted(accs):
+            raise ValueError(
+                f"family {self.name!r} accuracy must be non-decreasing in ordinal"
+            )
+
+    @property
+    def num_variants(self) -> int:
+        return len(self.variants)
+
+    @property
+    def smallest(self) -> ModelVariant:
+        """The lowest-quality variant (CO2OPT's choice)."""
+        return self.variants[0]
+
+    @property
+    def largest(self) -> ModelVariant:
+        """The highest-quality variant (the BASE scheme and ``A_base``)."""
+        return self.variants[-1]
+
+    @property
+    def base_accuracy(self) -> float:
+        """``A_base`` of Eq. 1: accuracy of the highest-quality variant."""
+        return self.largest.accuracy
+
+    def variant(self, ordinal: int) -> ModelVariant:
+        """Look a variant up by its 1-based ordinal encoding."""
+        if not 1 <= ordinal <= len(self.variants):
+            raise ValueError(
+                f"{self.name!r} has variants 1..{len(self.variants)}, got {ordinal}"
+            )
+        return self.variants[ordinal - 1]
+
+    def by_name(self, name: str) -> ModelVariant:
+        """Look a variant up by its published name (case-insensitive)."""
+        for v in self.variants:
+            if v.name.lower() == name.lower():
+                return v
+        valid = ", ".join(v.name for v in self.variants)
+        raise KeyError(f"unknown variant {name!r} in {self.name!r}; valid: {valid}")
+
+    def __iter__(self):
+        return iter(self.variants)
+
+
+YOLOV5 = ModelFamily(
+    name="yolov5",
+    application="detection",
+    dataset="MS COCO",
+    architecture="YOLOv5",
+    metric="mAP50-95",
+    variants=(
+        ModelVariant(
+            ordinal=1, name="YOLOv5l", family="yolov5",
+            params_millions=46.5, gflops=109.1, accuracy=49.0, memory_gb=2.8,
+            fixed_latency_ms=2.5, compute_latency_ms=12.0,
+            saturation=0.40, power_intensity=0.70,
+        ),
+        ModelVariant(
+            ordinal=2, name="YOLOv5x", family="yolov5",
+            params_millions=86.7, gflops=205.7, accuracy=50.7, memory_gb=4.2,
+            fixed_latency_ms=3.0, compute_latency_ms=22.0,
+            saturation=0.42, power_intensity=0.80,
+        ),
+        ModelVariant(
+            ordinal=3, name="YOLOv5x6", family="yolov5",
+            params_millions=140.7, gflops=839.4, accuracy=55.0, memory_gb=7.5,
+            fixed_latency_ms=4.0, compute_latency_ms=65.0,
+            saturation=0.70, power_intensity=0.95,
+        ),
+    ),
+)
+
+ALBERT = ModelFamily(
+    name="albert",
+    application="language",
+    dataset="SQuADv2",
+    architecture="ALBERT",
+    metric="F1",
+    variants=(
+        ModelVariant(
+            ordinal=1, name="ALBERT-v2-base", family="albert",
+            params_millions=11.8, gflops=45.0, accuracy=82.1, memory_gb=1.2,
+            fixed_latency_ms=2.0, compute_latency_ms=6.0,
+            saturation=0.18, power_intensity=0.50,
+        ),
+        ModelVariant(
+            ordinal=2, name="ALBERT-v2-large", family="albert",
+            params_millions=17.7, gflops=160.0, accuracy=84.9, memory_gb=1.8,
+            fixed_latency_ms=2.5, compute_latency_ms=15.0,
+            saturation=0.30, power_intensity=0.62,
+        ),
+        ModelVariant(
+            ordinal=3, name="ALBERT-v2-xlarge", family="albert",
+            params_millions=58.8, gflops=640.0, accuracy=87.9, memory_gb=3.4,
+            fixed_latency_ms=3.0, compute_latency_ms=45.0,
+            saturation=0.45, power_intensity=0.78,
+        ),
+        ModelVariant(
+            ordinal=4, name="ALBERT-v2-xxlarge", family="albert",
+            params_millions=222.6, gflops=1280.0, accuracy=90.2, memory_gb=6.2,
+            fixed_latency_ms=4.0, compute_latency_ms=110.0,
+            saturation=0.70, power_intensity=0.95,
+        ),
+    ),
+)
+
+EFFICIENTNET = ModelFamily(
+    name="efficientnet",
+    application="classification",
+    dataset="ImageNet",
+    architecture="EfficientNet",
+    metric="top-1",
+    variants=(
+        ModelVariant(
+            ordinal=1, name="EfficientNet-B1", family="efficientnet",
+            params_millions=7.8, gflops=0.70, accuracy=79.1, memory_gb=1.0,
+            fixed_latency_ms=1.5, compute_latency_ms=3.5,
+            saturation=0.12, power_intensity=0.45,
+        ),
+        ModelVariant(
+            ordinal=2, name="EfficientNet-B3", family="efficientnet",
+            params_millions=12.0, gflops=1.8, accuracy=81.6, memory_gb=1.4,
+            fixed_latency_ms=1.8, compute_latency_ms=6.0,
+            saturation=0.22, power_intensity=0.55,
+        ),
+        ModelVariant(
+            ordinal=3, name="EfficientNet-B5", family="efficientnet",
+            params_millions=30.0, gflops=9.9, accuracy=83.6, memory_gb=2.6,
+            fixed_latency_ms=2.2, compute_latency_ms=14.0,
+            saturation=0.45, power_intensity=0.75,
+        ),
+        ModelVariant(
+            ordinal=4, name="EfficientNet-B7", family="efficientnet",
+            params_millions=66.0, gflops=37.0, accuracy=84.3, memory_gb=4.8,
+            fixed_latency_ms=3.0, compute_latency_ms=32.0,
+            saturation=0.80, power_intensity=0.95,
+        ),
+    ),
+)
+
+ALL_FAMILIES: tuple[ModelFamily, ...] = (YOLOV5, ALBERT, EFFICIENTNET)
+
+#: Application name (as used throughout the paper's figures) -> family.
+APPLICATIONS: dict[str, ModelFamily] = {f.application: f for f in ALL_FAMILIES}
+
+
+def family_for_application(application: str) -> ModelFamily:
+    """Resolve a paper application name (``"detection"`` etc.) to its family."""
+    try:
+        return APPLICATIONS[application.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(APPLICATIONS))
+        raise KeyError(
+            f"unknown application {application!r}; valid: {valid}"
+        ) from None

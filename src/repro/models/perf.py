@@ -1,0 +1,134 @@
+"""Analytical performance model: latency and power of a variant on a slice.
+
+This module is the substitute for running real kernels on a real MIG A100.
+It maps a ``(ModelVariant, SliceType)`` pair to
+
+* **service latency** — a saturation-aware roofline:
+
+  .. math::
+
+      \\tau(v, s) = \\tau_{fixed}(v) + \\tau_{comp}(v) \\cdot
+                    \\frac{\\sigma(v)}{\\min(frac(s), \\sigma(v))}
+
+  When the slice offers at least the model's saturation fraction
+  :math:`\\sigma(v)` of the GPU, compute time is flat (extra SMs sit idle).
+  Below that, latency scales inversely with the slice's compute fraction.
+  This reproduces the MIG measurements the paper builds on: small models are
+  nearly free to shrink, big models slow several-fold on 1g.
+
+* **dynamic power while busy** — a partially slice-proportional draw:
+
+  .. math::
+
+      P_{dyn}(v, s) = P_{peak} \\cdot \\kappa(v) \\cdot
+          \\big(\\alpha \\cdot frac(s) +
+                (1-\\alpha) \\cdot \\min(frac(s), \\sigma(v))\\big)
+
+  An :math:`\\alpha` share of a slice's power scales with its size no matter
+  how little of it the model uses (clocking, scheduling, uncore); the rest
+  follows actual SM occupancy.  This term is why hosting a small model on a
+  huge slice wastes energy — the effect behind the paper's Fig. 3 carbon
+  savings from partitioning.
+
+All parameters are calibrated, not measured; DESIGN.md documents the
+substitution and the bands the calibration is tuned to hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.power import PowerModel
+from repro.gpu.slices import SliceType
+from repro.models.variants import ModelVariant
+
+__all__ = ["PerfModel", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a variant is placed on a slice it cannot fit in.
+
+    The optimizer must never produce such placements (the configuration graph
+    disables OOM edges); reaching this exception indicates a bug upstream, so
+    it is an error rather than a soft infeasibility signal.
+    """
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Latency/power oracle for variant-on-slice placements.
+
+    Attributes
+    ----------
+    power:
+        Node power model (idle + dynamic + host draw).
+    alpha:
+        Share of a slice's dynamic power that scales with slice size rather
+        than actual use (see module docstring), in [0, 1].
+    """
+
+    power: PowerModel = field(default_factory=PowerModel)
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+
+    # ------------------------------------------------------------------ #
+    # latency
+    # ------------------------------------------------------------------ #
+
+    def latency_ms(self, variant: ModelVariant, slice_type: SliceType) -> float:
+        """Mean service latency of one inference, in milliseconds."""
+        if not variant.fits(slice_type):
+            raise OutOfMemoryError(
+                f"{variant.name} needs {variant.memory_gb:g} GB but slice "
+                f"{slice_type.name} has {slice_type.memory_gb:g} GB"
+            )
+        effective = min(slice_type.compute_fraction, variant.saturation)
+        return (
+            variant.fixed_latency_ms
+            + variant.compute_latency_ms * variant.saturation / effective
+        )
+
+    def latency_s(self, variant: ModelVariant, slice_type: SliceType) -> float:
+        """Mean service latency in seconds (convenience for the DES)."""
+        return self.latency_ms(variant, slice_type) / 1e3
+
+    def slowdown(self, variant: ModelVariant, slice_type: SliceType) -> float:
+        """Latency on ``slice_type`` relative to a full (7g) GPU."""
+        full = variant.fixed_latency_ms + variant.compute_latency_ms
+        return self.latency_ms(variant, slice_type) / full
+
+    # ------------------------------------------------------------------ #
+    # power
+    # ------------------------------------------------------------------ #
+
+    def busy_watts(self, variant: ModelVariant, slice_type: SliceType) -> float:
+        """Dynamic power of the slice while it is processing a request."""
+        if not variant.fits(slice_type):
+            raise OutOfMemoryError(
+                f"{variant.name} does not fit on slice {slice_type.name}"
+            )
+        frac = slice_type.compute_fraction
+        effective = (
+            self.alpha * frac
+            + (1.0 - self.alpha) * min(frac, variant.saturation)
+        )
+        return self.power.peak_dynamic_watts * variant.power_intensity * effective
+
+    def energy_per_request_j(
+        self, variant: ModelVariant, slice_type: SliceType
+    ) -> float:
+        """Dynamic energy of a single inference (excludes static/idle draw)."""
+        return self.busy_watts(variant, slice_type) * self.latency_s(
+            variant, slice_type
+        )
+
+    # ------------------------------------------------------------------ #
+    # throughput
+    # ------------------------------------------------------------------ #
+
+    def service_rate(self, variant: ModelVariant, slice_type: SliceType) -> float:
+        """Requests per second one instance sustains at 100% utilization."""
+        return 1.0 / self.latency_s(variant, slice_type)

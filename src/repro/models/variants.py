@@ -1,0 +1,86 @@
+"""Model variants: the unit of "quality" in Clover's mixed-quality serving.
+
+A *variant* is one member of a model architecture family (Sec. 2 of the
+paper): same task, different parameter count, hence different accuracy,
+latency, memory footprint, and power draw.  Clover encodes variants as
+ordinal values (``1`` = smallest) and mixes them across MIG slices.
+
+Because no GPU is available in this reproduction, each variant carries a
+calibrated analytical performance profile instead of real kernels:
+
+``fixed_latency_ms``
+    Per-request overhead that does not scale with compute (pre/post
+    processing, kernel launches, framework dispatch).
+``compute_latency_ms``
+    Pure compute time of one inference on a slice large enough to saturate
+    the model (i.e. on any slice with ``compute_fraction >= saturation``).
+``saturation``
+    The fraction of a full A100 the model can actually keep busy.  Small
+    models cannot fill a 7g slice (so they barely slow down on small slices);
+    big models need most of the GPU (so a 1g slice slows them several fold).
+    This single knob reproduces the latency structure MIG measurement papers
+    report and is the source of the paper's SLA-vs-partitioning tension.
+``power_intensity``
+    How hard the model drives the silicon it occupies, in (0, 1] — scales
+    the dynamic power of the hosting slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.slices import SliceType
+
+__all__ = ["ModelVariant"]
+
+
+@dataclass(frozen=True, order=True)
+class ModelVariant:
+    """One member of a model family, ordered by ``ordinal`` (1 = smallest).
+
+    ``accuracy`` is the task metric on the family's benchmark dataset in
+    percent (COCO mAP, SQuADv2 F1, or ImageNet top-1), taken from the public
+    model repositories exactly as the paper does.
+    """
+
+    ordinal: int
+    name: str
+    family: str
+    params_millions: float
+    gflops: float
+    accuracy: float
+    memory_gb: float
+    fixed_latency_ms: float
+    compute_latency_ms: float
+    saturation: float
+    power_intensity: float
+
+    def __post_init__(self) -> None:
+        if self.ordinal < 1:
+            raise ValueError(f"ordinal must be >= 1, got {self.ordinal}")
+        if not 0.0 < self.accuracy <= 100.0:
+            raise ValueError(f"accuracy must be in (0, 100], got {self.accuracy}")
+        if self.params_millions <= 0 or self.gflops <= 0:
+            raise ValueError("params and gflops must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory footprint must be positive, got {self.memory_gb}")
+        if self.fixed_latency_ms < 0 or self.compute_latency_ms <= 0:
+            raise ValueError("latency components must be positive")
+        if not 0.0 < self.saturation <= 1.0:
+            raise ValueError(f"saturation must be in (0, 1], got {self.saturation}")
+        if not 0.0 < self.power_intensity <= 1.0:
+            raise ValueError(
+                f"power_intensity must be in (0, 1], got {self.power_intensity}"
+            )
+
+    def fits(self, slice_type: SliceType) -> bool:
+        """Whether the variant's weights + activations fit the slice's memory.
+
+        This is the paper's OOM rule: the configuration graph disables the
+        edge between a variant vertex and a slice vertex when hosting would
+        run out of memory.
+        """
+        return self.memory_gb <= slice_type.memory_gb
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,98 @@
+"""The model zoo: a registry of model families keyed by name or application.
+
+The zoo is the single lookup point the rest of the system uses to resolve
+``(family, ordinal)`` pairs to :class:`~repro.models.variants.ModelVariant`
+objects, and to answer memory-feasibility questions ("can variant v be hosted
+on slice s at all?").  A default zoo ships with the paper's three Table-1
+families; users can register their own families (see
+``examples/custom_family.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.slices import SLICE_TYPES
+from repro.models.families import ALL_FAMILIES, ModelFamily
+from repro.models.variants import ModelVariant
+
+__all__ = ["ModelZoo", "default_zoo"]
+
+
+@dataclass
+class ModelZoo:
+    """Registry of model families, with vectorized feasibility masks."""
+
+    _families: dict[str, ModelFamily] = field(default_factory=dict)
+
+    def register(self, family: ModelFamily) -> None:
+        """Add a family; rejects duplicate names or application labels."""
+        if family.name in self._families:
+            raise ValueError(f"family {family.name!r} already registered")
+        for existing in self._families.values():
+            if existing.application == family.application:
+                raise ValueError(
+                    f"application {family.application!r} already served by "
+                    f"{existing.name!r}"
+                )
+        self._families[family.name] = family
+
+    def family(self, name: str) -> ModelFamily:
+        """Look up a family by its name (``"efficientnet"``)."""
+        try:
+            return self._families[name]
+        except KeyError:
+            valid = ", ".join(sorted(self._families))
+            raise KeyError(f"unknown family {name!r}; valid: {valid}") from None
+
+    def for_application(self, application: str) -> ModelFamily:
+        """Look up a family by application label (``"classification"``)."""
+        for fam in self._families.values():
+            if fam.application == application.lower():
+                return fam
+        valid = ", ".join(sorted(f.application for f in self._families.values()))
+        raise KeyError(f"unknown application {application!r}; valid: {valid}")
+
+    @property
+    def families(self) -> tuple[ModelFamily, ...]:
+        """All registered families, in registration order."""
+        return tuple(self._families.values())
+
+    @property
+    def applications(self) -> tuple[str, ...]:
+        return tuple(f.application for f in self._families.values())
+
+    def variant(self, family: str, ordinal: int) -> ModelVariant:
+        """Resolve the paper's ordinal encoding to a variant object."""
+        return self.family(family).variant(ordinal)
+
+    def memory_mask(self, family: str) -> np.ndarray:
+        """(V, 5) boolean matrix: ``mask[v-1, s]`` = variant v fits slice s.
+
+        This is the paper's "disable the edge connection between corresponding
+        variant and slice vertices if out-of-memory errors would occur" rule,
+        in the exact layout of the configuration-graph weight matrix.
+        """
+        fam = self.family(family)
+        mask = np.zeros((fam.num_variants, len(SLICE_TYPES)), dtype=bool)
+        for v in fam.variants:
+            for s in SLICE_TYPES:
+                mask[v.ordinal - 1, s.index] = v.fits(s)
+        mask.setflags(write=False)
+        return mask
+
+    def feasible_variants(self, family: str, slice_index: int) -> tuple[int, ...]:
+        """Ordinals of the variants that fit the slice type at ``slice_index``."""
+        fam = self.family(family)
+        s = SLICE_TYPES[slice_index]
+        return tuple(v.ordinal for v in fam.variants if v.fits(s))
+
+
+def default_zoo() -> ModelZoo:
+    """The paper's Table-1 zoo: YOLOv5, ALBERT and EfficientNet families."""
+    zoo = ModelZoo()
+    for fam in ALL_FAMILIES:
+        zoo.register(fam)
+    return zoo

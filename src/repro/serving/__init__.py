@@ -1,0 +1,58 @@
+"""Inference-serving substrate: workload, queueing, simulation, metrics.
+
+Replaces the paper's Flask + FIFO producer/consumer serving stack with a
+discrete-event simulation of the same pipeline, plus a fast analytical
+estimator the optimizer uses in its inner loop:
+
+* :mod:`repro.serving.workload` — Poisson query arrivals and paper-style sizing,
+* :mod:`repro.serving.instance` — one model copy on one MIG slice,
+* :mod:`repro.serving.queueing` — the producer/consumer FIFO queue,
+* :mod:`repro.serving.des` — exact discrete-event simulation,
+* :mod:`repro.serving.analytic` — M/G/c-style closed-form estimates,
+* :mod:`repro.serving.metrics` — tail latency, shares, utilization,
+* :mod:`repro.serving.sla` — the p95 SLA policy (Eq. 5).
+"""
+
+from repro.serving.requests import Request, RequestBatch
+from repro.serving.workload import (
+    PoissonWorkload,
+    default_rate,
+    DEFAULT_BASE_UTILIZATION,
+)
+from repro.serving.instance import (
+    ServiceInstance,
+    sample_jitter,
+    DEFAULT_JITTER_CV,
+)
+from repro.serving.queueing import FifoQueue, QueueStats
+from repro.serving.des import simulate_fifo
+from repro.serving.analytic import QueueEstimate, estimate_fifo, erlang_c
+from repro.serving.metrics import (
+    LatencySummary,
+    ServingMetrics,
+    summarize,
+    DEFAULT_WARMUP_FRACTION,
+)
+from repro.serving.sla import SlaPolicy
+
+__all__ = [
+    "Request",
+    "RequestBatch",
+    "PoissonWorkload",
+    "default_rate",
+    "DEFAULT_BASE_UTILIZATION",
+    "ServiceInstance",
+    "sample_jitter",
+    "DEFAULT_JITTER_CV",
+    "FifoQueue",
+    "QueueStats",
+    "simulate_fifo",
+    "QueueEstimate",
+    "estimate_fifo",
+    "erlang_c",
+    "LatencySummary",
+    "ServingMetrics",
+    "summarize",
+    "DEFAULT_WARMUP_FRACTION",
+    "SlaPolicy",
+]

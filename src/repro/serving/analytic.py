@@ -1,0 +1,189 @@
+"""Closed-form steady-state estimator for the FIFO serving pipeline.
+
+Clover's optimizer evaluates hundreds of candidate configurations per
+48-hour run; simulating each one would dominate the runtime, so the search
+uses this analytical estimator and the runner validates/reports with the
+discrete-event simulator (:mod:`repro.serving.des`).
+
+The model is an M/G/c approximation of the heterogeneous FIFO service:
+
+* utilization ``rho = lambda / sum_j mu_j``; ``rho >= 1`` is overload
+  (the queue grows without bound — the paper's "consumer cannot keep up
+  with the producer" failure, an automatic SLA violation),
+* the probability of queueing comes from the Erlang-C formula with ``c``
+  homogenized servers, corrected for general service times with the
+  Allen–Cunneen factor ``(ca^2 + cs^2) / 2``,
+* conditional on queueing, the wait is approximated as exponential,
+* the response-time CDF is the convolution of that wait with the discrete
+  mixture of per-instance service times, and quantiles are found by
+  bisection on the (monotone) CDF.
+
+Accuracy against the DES is pinned by tests (see
+``tests/serving/test_analytic.py``): a few percent on utilization and
+request shares, ~10% on p95 in the load regimes the optimizer visits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.instance import DEFAULT_JITTER_CV
+
+__all__ = ["QueueEstimate", "estimate_fifo", "erlang_c"]
+
+#: Utilization above which the estimator declares overload: queue estimates
+#: explode as rho -> 1 and the DES cannot reach steady state either.
+OVERLOAD_RHO = 0.98
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Erlang-C probability that an arriving request must queue.
+
+    ``offered_load`` is in erlangs (``lambda / mu_per_server``).  Uses the
+    numerically stable Erlang-B recursion; exact for M/M/c.
+    """
+    if c <= 0:
+        raise ValueError(f"server count must be positive, got {c}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be non-negative, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    rho = offered_load / c
+    if rho >= 1.0:
+        return 1.0
+    # Erlang-B via the stable recursion B_k = a B_{k-1} / (k + a B_{k-1}).
+    b = 1.0
+    for k in range(1, c + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+@dataclass(frozen=True)
+class QueueEstimate:
+    """Steady-state estimate of the serving pipeline for one configuration."""
+
+    rate_per_s: float
+    utilization: float
+    overloaded: bool
+    p_wait: float
+    mean_wait_s: float
+    mean_service_s: float
+    shares: np.ndarray
+    service_s: np.ndarray
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency (wait + service)."""
+        if self.overloaded:
+            return float("inf")
+        return self.mean_wait_s + self.mean_service_s
+
+    def latency_cdf(self, t_s: float) -> float:
+        """P(end-to-end latency <= t_s) under the mixture model."""
+        if self.overloaded:
+            return 0.0
+        if self.p_wait <= 0 or self.mean_wait_s <= 0:
+            return float(np.dot(self.shares, (self.service_s <= t_s)))
+        beta = self.p_wait / self.mean_wait_s  # conditional wait rate
+        x = t_s - self.service_s
+        mask = x >= 0
+        cdf_terms = np.where(mask, 1.0 - self.p_wait * np.exp(-beta * np.maximum(x, 0.0)), 0.0)
+        return float(np.dot(self.shares, cdf_terms))
+
+    def quantile_s(self, q: float) -> float:
+        """The ``q``-quantile (q in (0, 1)) of end-to-end latency, seconds."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        if self.overloaded:
+            return float("inf")
+        lo = 0.0
+        hi = float(self.service_s.max()) + self.mean_wait_s
+        # Expand until the CDF brackets q (the exponential tail is unbounded).
+        while self.latency_cdf(hi) < q:
+            hi *= 2.0
+            if hi > 1e9:  # pragma: no cover - defensive
+                return float("inf")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.latency_cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def p95_ms(self) -> float:
+        """p95 end-to-end latency in milliseconds (the paper's SLA metric)."""
+        return self.quantile_s(0.95) * 1e3
+
+
+def estimate_fifo(
+    mean_service_s: np.ndarray,
+    rate_per_s: float,
+    jitter_cv: float = DEFAULT_JITTER_CV,
+) -> QueueEstimate:
+    """Estimate the steady state of a heterogeneous FIFO service.
+
+    Parameters
+    ----------
+    mean_service_s:
+        Mean service time of each instance.
+    rate_per_s:
+        Poisson arrival rate.
+    jitter_cv:
+        Service-time jitter, folded into the squared coefficient of
+        variation used by the Allen–Cunneen wait correction.
+    """
+    service = np.asarray(mean_service_s, dtype=np.float64)
+    if service.ndim != 1 or service.size == 0:
+        raise ValueError("mean_service_s must be a non-empty 1-D array")
+    if np.any(service <= 0):
+        raise ValueError("all mean service times must be positive")
+    if rate_per_s <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+
+    m = service.size
+    mu = 1.0 / service
+    mu_total = float(mu.sum())
+    rho = rate_per_s / mu_total
+
+    if rho >= OVERLOAD_RHO:
+        return QueueEstimate(
+            rate_per_s=rate_per_s,
+            utilization=rho,
+            overloaded=True,
+            p_wait=1.0,
+            mean_wait_s=float("inf"),
+            mean_service_s=float(service.mean()),
+            shares=np.full(m, 1.0 / m),
+            service_s=service,
+        )
+
+    # Request shares: earliest-free dispatch behaves like round-robin when
+    # the system is mostly idle (equal shares) and like rate-proportional
+    # work stealing when the queue is never empty; blend by utilization.
+    shares = (1.0 - rho) / m + rho * (mu / mu_total)
+    shares = shares / shares.sum()
+
+    mean_service = float(np.dot(shares, service))
+    second_moment = float(np.dot(shares, service**2)) * (1.0 + jitter_cv**2)
+    cs2 = max(second_moment / mean_service**2 - 1.0, 0.0)
+
+    # Homogenized Erlang-C with the Allen-Cunneen general-service correction
+    # (ca^2 = 1 for Poisson arrivals).
+    mu_bar = mu_total / m
+    offered = rate_per_s / mu_bar
+    p_wait = erlang_c(m, offered)
+    mean_wait = p_wait / (mu_total - rate_per_s) * (1.0 + cs2) / 2.0
+
+    return QueueEstimate(
+        rate_per_s=rate_per_s,
+        utilization=rho,
+        overloaded=False,
+        p_wait=p_wait,
+        mean_wait_s=mean_wait,
+        mean_service_s=mean_service,
+        shares=shares,
+        service_s=service,
+    )

@@ -1,0 +1,99 @@
+"""Discrete-event simulation of the Clover serving pipeline.
+
+Simulates the producer → FIFO queue → consumer → instances path of the
+paper's load balancer exactly: requests are served strictly in arrival
+order, and the request at the head of the queue goes to whichever service
+instance becomes free first (instances "notify the consumer" on completion).
+
+With that discipline, the instance that serves request *k* is always the one
+with the earliest next-free time, so the simulation reduces to one min-heap
+of instance free-times — no explicit event calendar needed.  The per-request
+Python loop is the hot path; everything around it (jitter sampling, result
+assembly) is vectorized.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.serving.instance import DEFAULT_JITTER_CV, sample_jitter
+from repro.serving.requests import RequestBatch
+from repro.utils.rng import as_generator
+
+__all__ = ["simulate_fifo"]
+
+
+def simulate_fifo(
+    arrivals_s: np.ndarray,
+    mean_service_s: np.ndarray,
+    jitter_cv: float = DEFAULT_JITTER_CV,
+    rng: int | np.random.Generator | None = None,
+) -> RequestBatch:
+    """Simulate a FIFO multi-instance service; returns the request batch.
+
+    Parameters
+    ----------
+    arrivals_s:
+        Sorted request arrival times in seconds.
+    mean_service_s:
+        Mean service time of each instance (length = number of instances).
+        Heterogeneous values model mixed-quality variants on mixed slices.
+    jitter_cv:
+        Coefficient of variation of the multiplicative service-time jitter.
+    rng:
+        Seed or generator for the jitter stream.
+
+    Notes
+    -----
+    FIFO with earliest-free-instance dispatch means a *slow* instance can
+    pick up a request that a fast instance would have finished sooner — this
+    is faithful to the notify-based consumer in the paper, and it is why
+    hosting one oversized variant on a tiny slice can drag the p95 of the
+    whole service.
+    """
+    arrivals = np.asarray(arrivals_s, dtype=np.float64)
+    service = np.asarray(mean_service_s, dtype=np.float64)
+    if service.ndim != 1 or service.size == 0:
+        raise ValueError("mean_service_s must be a non-empty 1-D array")
+    if np.any(service <= 0):
+        raise ValueError("all mean service times must be positive")
+    if arrivals.ndim != 1:
+        raise ValueError("arrivals_s must be a 1-D array")
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        raise ValueError("arrivals_s must be sorted non-decreasingly")
+
+    n = arrivals.size
+    m = service.size
+    jitter = sample_jitter(n, jitter_cv, as_generator(rng))
+
+    start = np.empty(n, dtype=np.float64)
+    finish = np.empty(n, dtype=np.float64)
+    assigned = np.empty(n, dtype=np.int64)
+
+    # Min-heap of (next_free_time, instance_index); ties resolve to the
+    # lowest index, which keeps the simulation fully deterministic.
+    free_heap: list[tuple[float, int]] = [(0.0, i) for i in range(m)]
+    heapq.heapify(free_heap)
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    svc_means = service.tolist()
+    arr_list = arrivals.tolist()
+    jit_list = jitter.tolist()
+    for k in range(n):
+        free_t, i = heappop(free_heap)
+        t = arr_list[k]
+        s = t if t > free_t else free_t
+        f = s + svc_means[i] * jit_list[k]
+        start[k] = s
+        finish[k] = f
+        assigned[k] = i
+        heappush(free_heap, (f, i))
+
+    return RequestBatch(
+        arrival_s=arrivals,
+        start_s=start,
+        finish_s=finish,
+        instance_index=assigned,
+    )

@@ -1,0 +1,102 @@
+"""A service instance: one model copy hosted on one MIG slice.
+
+This is the unit of the paper's serving layer — "every partition hosts one
+model copy".  An instance knows its mean service time (from the analytical
+performance model) and can sample jittered per-request service times for the
+discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.slices import SliceType
+from repro.models.perf import PerfModel
+from repro.models.variants import ModelVariant
+from repro.utils.rng import as_generator
+
+__all__ = ["ServiceInstance", "sample_jitter", "DEFAULT_JITTER_CV"]
+
+#: Coefficient of variation of per-request service time.  GPU inference is
+#: close to deterministic (same kernels every request); the residual spread
+#: models input-size variation and host-side noise.
+DEFAULT_JITTER_CV = 0.08
+
+
+def sample_jitter(
+    n: int,
+    cv: float = DEFAULT_JITTER_CV,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Multiplicative service-time jitter with mean exactly 1.
+
+    Lognormal with the requested coefficient of variation; ``cv = 0`` returns
+    ones (fully deterministic service).
+    """
+    if n < 0:
+        raise ValueError(f"sample count must be non-negative, got {n}")
+    if cv < 0:
+        raise ValueError(f"jitter cv must be non-negative, got {cv}")
+    if cv == 0.0:
+        return np.ones(n)
+    gen = as_generator(rng)
+    sigma2 = np.log1p(cv * cv)
+    mu = -0.5 * sigma2
+    return gen.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=n)
+
+
+@dataclass(frozen=True)
+class ServiceInstance:
+    """One hosted model copy: ``(gpu, slice, variant)`` plus its performance."""
+
+    instance_id: int
+    gpu_id: int
+    slice_type: SliceType
+    variant: ModelVariant
+    mean_service_s: float
+    busy_watts: float
+
+    @classmethod
+    def create(
+        cls,
+        instance_id: int,
+        gpu_id: int,
+        slice_type: SliceType,
+        variant: ModelVariant,
+        perf: PerfModel,
+    ) -> "ServiceInstance":
+        """Build an instance, resolving its performance via ``perf``."""
+        return cls(
+            instance_id=instance_id,
+            gpu_id=gpu_id,
+            slice_type=slice_type,
+            variant=variant,
+            mean_service_s=perf.latency_s(variant, slice_type),
+            busy_watts=perf.busy_watts(variant, slice_type),
+        )
+
+    def __post_init__(self) -> None:
+        if self.mean_service_s <= 0:
+            raise ValueError(
+                f"service time must be positive, got {self.mean_service_s}"
+            )
+        if self.busy_watts < 0:
+            raise ValueError(f"busy power must be non-negative, got {self.busy_watts}")
+
+    @property
+    def service_rate(self) -> float:
+        """Requests per second at 100% utilization."""
+        return 1.0 / self.mean_service_s
+
+    @property
+    def accuracy(self) -> float:
+        """Accuracy of requests served by this instance (variant's metric)."""
+        return self.variant.accuracy
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"inst{self.instance_id}[gpu{self.gpu_id}/{self.slice_type.name}:"
+            f"{self.variant.name}]"
+        )

@@ -1,0 +1,73 @@
+"""The producer/consumer FIFO queue of the Clover load balancer.
+
+The paper's load-balancer module has a producer that appends user requests to
+a FIFO queue and a consumer that hands the head of the queue to whichever
+service instance signals it is free.  :class:`FifoQueue` is that structure
+with the occupancy accounting the runtime needs (depth watermarks feed the
+"consumer cannot keep up with the producer" overload diagnosis of Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["FifoQueue", "QueueStats"]
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Occupancy accounting of a FIFO queue over its lifetime."""
+
+    enqueued: int
+    dequeued: int
+    max_depth: int
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting."""
+        return self.enqueued - self.dequeued
+
+
+@dataclass
+class FifoQueue:
+    """First-in-first-out request queue with depth accounting.
+
+    Items are opaque to the queue (the simulator stores request indices).
+    """
+
+    _items: deque = field(default_factory=deque, repr=False)
+    _enqueued: int = field(default=0, init=False)
+    _dequeued: int = field(default=0, init=False)
+    _max_depth: int = field(default=0, init=False)
+
+    def put(self, item) -> None:
+        """Producer side: append a request to the tail."""
+        self._items.append(item)
+        self._enqueued += 1
+        if len(self._items) > self._max_depth:
+            self._max_depth = len(self._items)
+
+    def get(self):
+        """Consumer side: pop the head; raises ``IndexError`` when empty."""
+        item = self._items.popleft()
+        self._dequeued += 1
+        return item
+
+    def peek(self):
+        """Head of the queue without removing it."""
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def stats(self) -> QueueStats:
+        return QueueStats(
+            enqueued=self._enqueued,
+            dequeued=self._dequeued,
+            max_depth=self._max_depth,
+        )

@@ -1,0 +1,116 @@
+"""Request records and batch views for the inference-serving simulator.
+
+The hot path of the discrete-event simulator works on NumPy arrays (one entry
+per request) rather than Python objects; :class:`RequestBatch` is the
+structure-of-arrays container for those, and :class:`Request` is the
+object view used at API boundaries and in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Request", "RequestBatch"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request's life cycle, all times in seconds.
+
+    ``latency`` is end-to-end (queue wait + service), the quantity the
+    paper's p95 SLA is defined over.
+    """
+
+    request_id: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    instance_index: int
+
+    @property
+    def wait_s(self) -> float:
+        """Time spent in the FIFO queue before an instance picked it up."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Time spent processing on the assigned instance."""
+        return self.finish_s - self.start_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (wait + service)."""
+        return self.finish_s - self.arrival_s
+
+    def __post_init__(self) -> None:
+        if not self.arrival_s <= self.start_s <= self.finish_s:
+            raise ValueError(
+                f"request {self.request_id}: times must be ordered "
+                f"(arrival={self.arrival_s}, start={self.start_s}, "
+                f"finish={self.finish_s})"
+            )
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """Structure-of-arrays record of a simulated batch of requests."""
+
+    arrival_s: np.ndarray
+    start_s: np.ndarray
+    finish_s: np.ndarray
+    instance_index: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.arrival_s.shape[0]
+        for name in ("start_s", "finish_s", "instance_index"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},), got {arr.shape}")
+        if n and not (
+            np.all(self.arrival_s <= self.start_s)
+            and np.all(self.start_s <= self.finish_s)
+        ):
+            raise ValueError("request times must satisfy arrival <= start <= finish")
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.shape[0])
+
+    @property
+    def wait_s(self) -> np.ndarray:
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> np.ndarray:
+        return self.finish_s - self.start_s
+
+    @property
+    def latency_s(self) -> np.ndarray:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def latency_ms(self) -> np.ndarray:
+        return self.latency_s * 1e3
+
+    def request(self, k: int) -> Request:
+        """Object view of the ``k``-th request (for tests and debugging)."""
+        return Request(
+            request_id=k,
+            arrival_s=float(self.arrival_s[k]),
+            start_s=float(self.start_s[k]),
+            finish_s=float(self.finish_s[k]),
+            instance_index=int(self.instance_index[k]),
+        )
+
+    def tail(self, skip_fraction: float) -> "RequestBatch":
+        """Drop the first ``skip_fraction`` of requests (warm-up trimming)."""
+        if not 0.0 <= skip_fraction < 1.0:
+            raise ValueError(f"skip_fraction must be in [0, 1), got {skip_fraction}")
+        k = int(len(self) * skip_fraction)
+        return RequestBatch(
+            arrival_s=self.arrival_s[k:],
+            start_s=self.start_s[k:],
+            finish_s=self.finish_s[k:],
+            instance_index=self.instance_index[k:],
+        )

@@ -1,0 +1,48 @@
+"""Service-level agreement: the p95 tail-latency target (Eq. 5).
+
+The paper fixes the SLA to the p95 tail latency measured for the BASE
+deployment (largest variant, no MIG partitioning) and never relaxes it when
+Clover partitions the GPUs — "the same p95 tail latency from the base case
+is continued to be used as an SLA constraint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlaPolicy"]
+
+
+@dataclass(frozen=True)
+class SlaPolicy:
+    """p95 tail-latency SLA with the paper's semantics."""
+
+    p95_target_ms: float
+
+    def __post_init__(self) -> None:
+        if self.p95_target_ms <= 0:
+            raise ValueError(
+                f"SLA target must be positive, got {self.p95_target_ms}"
+            )
+
+    def is_met(self, p95_ms: float) -> bool:
+        """Whether a measured/estimated p95 satisfies the SLA."""
+        return p95_ms <= self.p95_target_ms
+
+    def violation_factor(self, p95_ms: float) -> float:
+        """``L / L_tail``: 1.0 at the boundary, > 1 when violating.
+
+        This is the quantity the SA energy function (Eq. 6) penalizes by:
+        ``h = -f * min(1, L_tail / L)``.
+        """
+        return p95_ms / self.p95_target_ms
+
+    def sa_penalty(self, p95_ms: float) -> float:
+        """``min(1, L_tail / L)`` — the Eq. 6 smooth SLA penalty multiplier."""
+        if p95_ms <= 0:
+            return 1.0
+        return min(1.0, self.p95_target_ms / p95_ms)
+
+    def headroom_ms(self, p95_ms: float) -> float:
+        """Slack to the target (negative when violating)."""
+        return self.p95_target_ms - p95_ms

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG plumbing and statistics helpers."""
+
+from repro.utils.rng import RngMixer, as_generator, spawn_child, stable_hash
+from repro.utils.stats import (
+    exact_percentile,
+    weighted_mean,
+    normalize,
+    running_mean,
+    percentile_ci,
+)
+
+__all__ = [
+    "RngMixer",
+    "as_generator",
+    "spawn_child",
+    "stable_hash",
+    "exact_percentile",
+    "weighted_mean",
+    "normalize",
+    "running_mean",
+    "percentile_ci",
+]

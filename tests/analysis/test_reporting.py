@@ -1,0 +1,53 @@
+"""ASCII table and series rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_series, format_table, render
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(("A", "Bee"), [("1", "x"), ("22", "yy")])
+        lines = text.splitlines()
+        assert lines[0].startswith("A ")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(("A",), [("1",)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_cell_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("A", "B"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(("A",), [])
+        assert "A" in text
+
+
+class TestFormatSeries:
+    def test_renders_requested_samples(self):
+        t = np.linspace(0, 48, 100)
+        v = np.sin(t)
+        out = format_series(t, v, label="f", samples=6)
+        assert out.count("t=") == 6
+        assert out.splitlines()[0].startswith("f [")
+
+    def test_constant_series_no_crash(self):
+        out = format_series(np.array([0.0, 1.0]), np.array([5.0, 5.0]))
+        assert "5.00" in out
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            format_series(np.array([]), np.array([]))
+
+
+class TestRender:
+    def test_renders_table_protocol(self):
+        class Result:
+            def table(self):
+                return ("H",), [("v",)]
+
+        assert "H" in render(Result())

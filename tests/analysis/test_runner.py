@@ -1,0 +1,80 @@
+"""Experiment runner: memoization and derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunSpec
+from repro.carbon.intensity import CarbonIntensityTrace
+
+
+@pytest.fixture()
+def runner():
+    return ExperimentRunner()
+
+
+SPEC = RunSpec(
+    application="classification", scheme="base", fidelity="smoke",
+    seed=0, n_gpus=2, duration_h=4.0,
+)
+
+
+class TestMemoization:
+    def test_same_spec_returns_cached_object(self, runner):
+        r1 = runner.run(SPEC)
+        r2 = runner.run(SPEC)
+        assert r1 is r2
+
+    def test_different_spec_reruns(self, runner):
+        r1 = runner.run(SPEC)
+        r2 = runner.run(
+            RunSpec(
+                application="classification", scheme="base", fidelity="smoke",
+                seed=1, n_gpus=2, duration_h=4.0,
+            )
+        )
+        assert r1 is not r2
+
+
+class TestCustomTraces:
+    def test_registered_trace_is_used(self, runner):
+        flat = CarbonIntensityTrace(
+            times_h=np.array([0.0, 48.0]),
+            values=np.array([123.0, 123.0]),
+            name="flat-123",
+        )
+        runner.register_trace("flat-123", flat)
+        r = runner.run(
+            RunSpec(
+                application="classification", scheme="base",
+                trace_name="flat-123", fidelity="smoke", seed=0,
+                n_gpus=2, duration_h=4.0,
+            )
+        )
+        assert r.trace_name == "flat-123"
+        assert all(e.ci == pytest.approx(123.0) for e in r.epochs)
+
+    def test_unknown_trace_raises(self, runner):
+        with pytest.raises(KeyError):
+            runner.run(
+                RunSpec(
+                    application="classification", scheme="base",
+                    trace_name="mars-colony", fidelity="smoke", seed=0,
+                )
+            )
+
+
+class TestDerivedMetrics:
+    def test_carbon_saving_vs_self_is_zero(self, runner):
+        base = runner.run(SPEC)
+        assert ExperimentRunner.carbon_saving_pct(base, base) == 0.0
+
+    def test_latency_norm_vs_self_is_one(self, runner):
+        base = runner.run(SPEC)
+        assert ExperimentRunner.latency_norm(base, base) == pytest.approx(1.0)
+
+    def test_run_matrix_keys(self, runner):
+        out = runner.run_matrix(
+            ("base",), ("classification",), fidelity="smoke", seed=0,
+            n_gpus=2, duration_h=4.0,
+        )
+        assert set(out) == {("classification", "base")}

@@ -1,0 +1,84 @@
+"""Energy-to-carbon accounting arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.carbon.accounting import (
+    CarbonAccountant,
+    DEFAULT_PUE,
+    carbon_grams,
+    joules_to_kwh,
+)
+
+
+class TestConversions:
+    def test_joules_to_kwh(self):
+        assert joules_to_kwh(3.6e6) == 1.0
+
+    def test_carbon_of_one_kwh(self):
+        # 1 kWh at 200 g/kWh with PUE 1.5 -> 300 g.
+        assert carbon_grams(3.6e6, 200.0) == pytest.approx(300.0)
+
+    def test_pue_one_is_it_energy_only(self):
+        assert carbon_grams(3.6e6, 200.0, pue=1.0) == pytest.approx(200.0)
+
+    def test_zero_energy_zero_carbon(self):
+        assert carbon_grams(0.0, 100.0) == 0.0
+
+    @given(
+        e=st.floats(min_value=0, max_value=1e12),
+        ci=st.floats(min_value=1, max_value=1000),
+    )
+    def test_linearity_in_energy_and_intensity(self, e, ci):
+        assert carbon_grams(e, ci) == pytest.approx(
+            joules_to_kwh(e) * DEFAULT_PUE * ci
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            carbon_grams(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            carbon_grams(1.0, 0.0)
+        with pytest.raises(ValueError):
+            carbon_grams(1.0, 100.0, pue=0.9)
+
+
+class TestCarbonAccountant:
+    def test_accumulates(self):
+        acc = CarbonAccountant()
+        g1 = acc.record(3.6e6, 100.0, requests=10)
+        g2 = acc.record(3.6e6, 300.0, requests=30)
+        assert acc.total_energy_j == pytest.approx(7.2e6)
+        assert acc.total_carbon_g == pytest.approx(g1 + g2)
+        assert acc.total_requests == 40
+        assert acc.epochs == 2
+
+    def test_per_request_averages(self):
+        acc = CarbonAccountant(pue=1.0)
+        acc.record(1000.0, 360.0, requests=10)  # 0.1 g total
+        assert acc.joules_per_request == pytest.approx(100.0)
+        assert acc.grams_per_request == pytest.approx(0.01)
+
+    def test_per_request_without_requests_raises(self):
+        acc = CarbonAccountant()
+        acc.record(10.0, 100.0)
+        with pytest.raises(ValueError):
+            _ = acc.grams_per_request
+
+    def test_additivity_vs_single_shot(self):
+        """Accounting in two epochs at the same intensity must equal one
+        epoch with the summed energy (the ledger is linear)."""
+        split = CarbonAccountant()
+        split.record(1e6, 250.0)
+        split.record(2e6, 250.0)
+        whole = CarbonAccountant()
+        whole.record(3e6, 250.0)
+        assert split.total_carbon_g == pytest.approx(whole.total_carbon_g)
+
+    def test_invalid_pue(self):
+        with pytest.raises(ValueError):
+            CarbonAccountant(pue=0.5)
+
+    def test_negative_requests_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonAccountant().record(1.0, 1.0, requests=-1)

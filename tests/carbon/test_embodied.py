@@ -1,0 +1,63 @@
+"""Embodied-carbon amortization (the Fig. 15 implication)."""
+
+import pytest
+
+from repro.carbon.embodied import EmbodiedCarbonModel, TotalCarbonBreakdown
+
+
+class TestEmbodiedModel:
+    def test_amortization_arithmetic(self):
+        m = EmbodiedCarbonModel(kg_co2e_per_gpu=150.0, lifetime_years=4.0)
+        hours = 4.0 * 365.25 * 24.0
+        assert m.grams_per_gpu_hour == pytest.approx(150_000.0 / hours)
+
+    def test_embodied_scales_with_fleet_and_time(self):
+        m = EmbodiedCarbonModel()
+        one = m.embodied_g(1, 48.0)
+        assert m.embodied_g(10, 48.0) == pytest.approx(10 * one)
+        assert m.embodied_g(1, 96.0) == pytest.approx(2 * one)
+
+    def test_zero_cases(self):
+        m = EmbodiedCarbonModel()
+        assert m.embodied_g(0, 48.0) == 0.0
+        assert m.embodied_g(5, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmbodiedCarbonModel(kg_co2e_per_gpu=0.0)
+        with pytest.raises(ValueError):
+            EmbodiedCarbonModel(lifetime_years=-1.0)
+        with pytest.raises(ValueError):
+            EmbodiedCarbonModel().embodied_g(-1, 1.0)
+
+
+class TestBreakdown:
+    def test_totals_and_fraction(self):
+        m = EmbodiedCarbonModel()
+        b = m.breakdown(operational_g=900.0, n_gpus=10, duration_h=48.0)
+        assert b.total_g == pytest.approx(b.operational_g + b.embodied_g)
+        assert 0.0 < b.embodied_fraction < 1.0
+
+    def test_fig15_story_fewer_gpus_save_total_carbon(self):
+        """The paper's takeaway: a 2-GPU Clover deployment beats the 10-GPU
+        BASE on total (operational + embodied) carbon even before the
+        operational saving — here with *equal* operational carbon the
+        embodied share alone separates them."""
+        m = EmbodiedCarbonModel()
+        big = m.breakdown(operational_g=1000.0, n_gpus=10, duration_h=48.0)
+        small = m.breakdown(operational_g=1000.0, n_gpus=2, duration_h=48.0)
+        assert small.saving_vs(big) > 0.0
+
+    def test_saving_vs_requires_positive_reference(self):
+        z = TotalCarbonBreakdown(
+            operational_g=0.0, embodied_g=0.0, n_gpus=0, duration_h=0.0
+        )
+        b = EmbodiedCarbonModel().breakdown(1.0, 1, 1.0)
+        with pytest.raises(ValueError):
+            b.saving_vs(z)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            TotalCarbonBreakdown(
+                operational_g=-1.0, embodied_g=0.0, n_gpus=1, duration_h=1.0
+            )

@@ -1,0 +1,80 @@
+"""Carbon-intensity forecasting building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import (
+    DiurnalForecaster,
+    PersistenceForecaster,
+    forecast_mae,
+)
+from repro.carbon.generator import CISO_MARCH, generate_trace
+from repro.carbon.intensity import CarbonIntensityTrace
+
+
+@pytest.fixture(scope="module")
+def solar_trace():
+    return generate_trace(CISO_MARCH, days=6.0, rng=7)
+
+
+class TestPersistence:
+    def test_prediction_is_current_value(self, solar_trace):
+        f = PersistenceForecaster(solar_trace)
+        assert f.predict(30.0, 6.0) == pytest.approx(solar_trace.at(30.0))
+
+    def test_horizon_zero_is_exact(self, solar_trace):
+        f = PersistenceForecaster(solar_trace)
+        assert forecast_mae(f, solar_trace, horizon_h=0.0) == pytest.approx(0.0)
+
+    def test_negative_horizon_rejected(self, solar_trace):
+        with pytest.raises(ValueError):
+            PersistenceForecaster(solar_trace).predict(30.0, -1.0)
+
+
+class TestDiurnal:
+    def test_beats_persistence_at_multi_hour_horizons(self, solar_trace):
+        """The entire point: grid intensity is diurnal, so climatology beats
+        persistence from a few hours out."""
+        p = PersistenceForecaster(solar_trace)
+        d = DiurnalForecaster(solar_trace)
+        for horizon in (6.0, 12.0):
+            assert forecast_mae(d, solar_trace, horizon) < forecast_mae(
+                p, solar_trace, horizon
+            )
+
+    def test_short_horizon_tracks_current_anomaly(self, solar_trace):
+        """At tiny horizons the forecast stays near the current value."""
+        d = DiurnalForecaster(solar_trace)
+        t = 40.0
+        now = solar_trace.at(t)
+        assert d.predict(t, 0.0) == pytest.approx(now, abs=25.0)
+
+    def test_no_lookahead(self):
+        """Climatology must ignore samples after the query time."""
+        t = np.arange(0.0, 96.0, 1.0)
+        v = np.where(t < 48.0, 100.0, 300.0)  # regime change at t=48
+        trace = CarbonIntensityTrace(times_h=t, values=np.maximum(v, 1.0))
+        d = DiurnalForecaster(trace)
+        # Querying at t=40 must know nothing about the later 300s.
+        assert d.predict(40.0, 6.0) == pytest.approx(100.0, abs=1.0)
+
+    def test_insufficient_history_raises(self, solar_trace):
+        d = DiurnalForecaster(solar_trace)
+        with pytest.raises(ValueError):
+            d.predict(-10.0, 1.0)
+
+    def test_bad_halflife_rejected(self, solar_trace):
+        with pytest.raises(ValueError):
+            DiurnalForecaster(solar_trace, anomaly_halflife_h=0.0)
+
+
+class TestForecastMae:
+    def test_requires_room_for_horizon(self, solar_trace):
+        f = PersistenceForecaster(solar_trace)
+        with pytest.raises(ValueError):
+            forecast_mae(f, solar_trace, horizon_h=1e6)
+
+    def test_step_must_be_positive(self, solar_trace):
+        f = PersistenceForecaster(solar_trace)
+        with pytest.raises(ValueError):
+            forecast_mae(f, solar_trace, 1.0, step_h=0.0)

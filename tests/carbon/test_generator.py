@@ -1,0 +1,77 @@
+"""Synthetic grid-profile generator."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.generator import (
+    CISO_MARCH,
+    ESO_MARCH,
+    GridProfile,
+    generate_trace,
+)
+
+
+class TestGenerateTrace:
+    def test_span_matches_days(self):
+        tr = generate_trace(CISO_MARCH, days=3.0, rng=0)
+        assert tr.span_h == pytest.approx(72.0)
+
+    def test_reproducible_with_seed(self):
+        a = generate_trace(CISO_MARCH, days=1.0, rng=5)
+        b = generate_trace(CISO_MARCH, days=1.0, rng=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(CISO_MARCH, days=1.0, rng=1)
+        b = generate_trace(CISO_MARCH, days=1.0, rng=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_respects_floor(self):
+        tr = generate_trace(ESO_MARCH, days=14.0, rng=3)
+        assert tr.min() >= ESO_MARCH.floor
+
+    def test_solar_trough_at_midday(self):
+        """The duck curve: midday intensity is below the nightly level."""
+        tr = generate_trace(CISO_MARCH, days=10.0, rng=4)
+        hod = tr.times_h % 24.0
+        midday = tr.values[(hod >= 11.0) & (hod <= 14.0)].mean()
+        night = tr.values[(hod >= 0.0) & (hod <= 4.0)].mean()
+        assert midday < night - 50.0
+
+    def test_eso_more_volatile_than_ciso(self):
+        """Wind-dominated UK swings harder than solar-dominated CA when the
+        diurnal template is removed."""
+        ciso = generate_trace(CISO_MARCH, days=14.0, rng=6)
+        eso = generate_trace(ESO_MARCH, days=14.0, rng=6)
+        # Hour-over-hour changes isolate the stochastic part.
+        assert np.abs(np.diff(eso.values)).mean() > np.abs(
+            np.diff(ciso.values)
+        ).mean()
+
+    def test_sub_hourly_step(self):
+        tr = generate_trace(CISO_MARCH, days=1.0, step_h=0.25, rng=7)
+        assert len(tr) == pytest.approx(97, abs=1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_trace(CISO_MARCH, days=0.0)
+        with pytest.raises(ValueError):
+            generate_trace(CISO_MARCH, days=1.0, step_h=0.0)
+
+
+class TestGridProfileValidation:
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            GridProfile(
+                name="bad", base=-1.0, solar_depth=0.0, solar_center_h=12.0,
+                solar_width_h=3.0, morning_peak=0.0, evening_peak=0.0,
+                noise_std=1.0, noise_corr=0.5,
+            )
+
+    def test_bad_correlation_rejected(self):
+        with pytest.raises(ValueError):
+            GridProfile(
+                name="bad", base=100.0, solar_depth=0.0, solar_center_h=12.0,
+                solar_width_h=3.0, morning_peak=0.0, evening_peak=0.0,
+                noise_std=1.0, noise_corr=1.0,
+            )

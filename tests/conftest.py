@@ -1,0 +1,24 @@
+"""Shared fixtures for the reproduction's test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.perf import PerfModel
+from repro.models.zoo import ModelZoo, default_zoo
+
+
+@pytest.fixture(scope="session")
+def zoo() -> ModelZoo:
+    return default_zoo()
+
+
+@pytest.fixture(scope="session")
+def perf() -> PerfModel:
+    return PerfModel()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,223 @@
+"""Simulated annealing and random search: paper-pinned behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import (
+    OptimizationCostModel,
+    SAParams,
+    random_search,
+    simulated_annealing,
+)
+from repro.core.config import base_config, co2opt_config
+from repro.core.evaluator import ConfigEvaluator
+from repro.core.graph import ConfigGraph
+from repro.core.moves import MoveGenerator
+from repro.core.objective import ObjectiveSpec
+from repro.serving.sla import SlaPolicy
+from repro.serving.workload import default_rate
+
+
+@pytest.fixture()
+def setup(zoo, perf):
+    fam = zoo.family("efficientnet")
+    n_gpus = 3
+    rate = default_rate(fam, perf, n_gpus)
+    evaluator = ConfigEvaluator(
+        zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=n_gpus,
+        method="analytic",
+    )
+    base_eval = evaluator.evaluate(base_config(fam, n_gpus))
+    objective = ObjectiveSpec(
+        lambda_weight=0.5,
+        a_base=fam.base_accuracy,
+        c_base=0.002,
+        sla=SlaPolicy(p95_target_ms=base_eval.p95_ms),
+    )
+    moves = MoveGenerator(zoo=zoo, family=fam.name)
+    return fam, n_gpus, evaluator, objective, moves
+
+
+class TestSAParams:
+    def test_paper_schedule(self):
+        p = SAParams()
+        assert p.t_initial == 1.0
+        assert p.cooling == 0.05
+        assert p.t_min == 0.1
+        assert p.no_improve_limit == 5
+        assert p.time_budget_s == 300.0
+
+    def test_temperature_cools_and_floors(self):
+        p = SAParams()
+        assert p.temperature(0) == 1.0
+        assert p.temperature(10) == pytest.approx(0.5)
+        assert p.temperature(18) == pytest.approx(0.1)
+        assert p.temperature(100) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SAParams(t_min=2.0)
+        with pytest.raises(ValueError):
+            SAParams(no_improve_limit=0)
+        with pytest.raises(ValueError):
+            SAParams(time_budget_s=0.0)
+
+
+class TestCostModel:
+    def test_cold_start_cost(self, zoo):
+        fam = zoo.family("efficientnet")
+        cm = OptimizationCostModel()
+        cfg = co2opt_config(fam, 2)  # 14 instances
+        cost = cm.reconfiguration_s(None, cfg, ged=0)
+        assert cost == pytest.approx(cm.repartition_s + 14 * cm.model_load_s)
+
+    def test_identical_config_costs_nothing_to_reconfigure(self, zoo):
+        fam = zoo.family("efficientnet")
+        cm = OptimizationCostModel()
+        cfg = base_config(fam, 2)
+        assert cm.reconfiguration_s(cfg, cfg, ged=0) == 0.0
+
+    def test_variant_swap_costs_one_reload(self, zoo):
+        fam = zoo.family("efficientnet")
+        cm = OptimizationCostModel()
+        a = base_config(fam, 2)
+        b = a.with_assignment(0, a.assignments[0].__class__(
+            partition_id=1, variant_ordinals=(3,)
+        ))
+        assert cm.reconfiguration_s(a, b, ged=2) == pytest.approx(
+            cm.model_load_s
+        )
+
+    def test_partition_change_adds_repartition(self, zoo):
+        fam = zoo.family("efficientnet")
+        cm = OptimizationCostModel()
+        a = base_config(fam, 2)
+        from repro.core.config import GpuAssignment
+
+        b = a.with_assignment(
+            0, GpuAssignment(partition_id=2, variant_ordinals=(4, 3))
+        )
+        cost = cm.reconfiguration_s(a, b, ged=3)
+        assert cost == pytest.approx(cm.repartition_s + 1.5 * cm.model_load_s)
+
+    def test_evaluation_adds_measure_window(self, zoo):
+        fam = zoo.family("efficientnet")
+        cm = OptimizationCostModel()
+        cfg = base_config(fam, 1)
+        assert cm.evaluation_s(cfg, cfg, 0) == pytest.approx(cm.measure_window_s)
+
+
+class TestSimulatedAnnealing:
+    def test_improves_over_base(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        result = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=0,
+        )
+        first = result.evaluated[0]
+        assert result.best_any.sa_energy <= first.sa_energy
+        assert result.best_deployable is not None
+        # The deployable best must beat BASE's objective at this ci.
+        assert result.best_deployable.value.f > first.value.f
+
+    def test_respects_sla_in_deployable(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        result = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=1,
+        )
+        assert result.best_deployable.value.sla_met
+
+    def test_terminates_on_no_improve(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        params = SAParams(no_improve_limit=3, time_budget_s=1e9, max_evals=10_000)
+        result = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=2, params=params,
+        )
+        assert result.termination in ("converged", "no_neighbors")
+
+    def test_time_budget_enforced(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        params = SAParams(no_improve_limit=10_000, time_budget_s=30.0)
+        result = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=3, params=params,
+        )
+        # One evaluation may straddle the boundary; never two.
+        assert result.elapsed_virtual_s < 30.0 + 60.0
+        assert result.termination == "time_budget"
+
+    def test_max_evals_enforced(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        params = SAParams(
+            no_improve_limit=10_000, time_budget_s=1e9, max_evals=7
+        )
+        result = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=4, params=params,
+        )
+        assert result.num_evaluations == 7
+        assert result.termination == "max_evals"
+
+    def test_reproducible(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        r1 = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=5,
+        )
+        r2 = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=5,
+        )
+        assert r1.best_any.value.f == r2.best_any.value.f
+        assert r1.num_evaluations == r2.num_evaluations
+
+    def test_consecutive_evals_are_neighbors_cost_wise(self, setup, zoo):
+        """Every explored candidate is one GED <= 4 step from the centre;
+        consecutive *deployments* are therefore at most 2 x 4 GED apart
+        (candidate -> centre -> next candidate), bounding per-eval cost."""
+        fam, n, evaluator, objective, moves = setup
+        result = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=6,
+        )
+        cm = OptimizationCostModel()
+        worst = cm.repartition_s + cm.model_load_s * 4 + cm.measure_window_s
+        for cand in result.evaluated[1:]:
+            assert cand.virtual_cost_s <= worst + 1e-9
+
+
+class TestRandomSearch:
+    def test_finds_deployable_from_warm_start(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        result = random_search(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=0,
+        )
+        assert result.best_deployable is not None
+
+    def test_costs_more_per_eval_than_sa(self, setup):
+        """The raw-space proposals reconfigure whole GPUs, so Blover's
+        per-evaluation cost exceeds Clover's — the Fig. 12a mechanism."""
+        fam, n, evaluator, objective, moves = setup
+        sa = simulated_annealing(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=1,
+        )
+        rs = random_search(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=1,
+        )
+        sa_cost = sa.elapsed_virtual_s / sa.num_evaluations
+        rs_cost = rs.elapsed_virtual_s / rs.num_evaluations
+        assert rs_cost > 1.5 * sa_cost
+
+    def test_same_termination_rule(self, setup):
+        fam, n, evaluator, objective, moves = setup
+        params = SAParams(no_improve_limit=4)
+        result = random_search(
+            base_config(fam, n), evaluator, objective, ci=250.0,
+            moves=moves, rng=2, params=params,
+        )
+        assert result.termination in ("converged", "time_budget")

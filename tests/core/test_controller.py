@@ -1,0 +1,168 @@
+"""Controller epoch accounting and run records."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.carbon.monitor import CarbonIntensityMonitor
+from repro.core.config import base_config
+from repro.core.controller import ServiceController
+from repro.core.evaluator import ConfigEvaluator
+from repro.core.objective import ObjectiveSpec
+from repro.core.schemes import make_scheme
+from repro.serving.sla import SlaPolicy
+from repro.serving.workload import default_rate
+from repro.utils.rng import RngMixer
+
+
+def flat_trace(ci=200.0, span=48.0):
+    return CarbonIntensityTrace(
+        times_h=np.array([0.0, span]), values=np.array([ci, ci]), name="flat"
+    )
+
+
+def varying_trace():
+    t = np.arange(0.0, 49.0, 1.0)
+    v = 200.0 + 100.0 * np.sin(2 * np.pi * t / 24.0)
+    return CarbonIntensityTrace(times_h=t, values=v, name="sine")
+
+
+@pytest.fixture()
+def parts(zoo, perf):
+    fam = zoo.family("efficientnet")
+    n = 2
+    rate = default_rate(fam, perf, n)
+    opt_eval = ConfigEvaluator(
+        zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=n,
+        method="analytic",
+    )
+    measure_eval = ConfigEvaluator(
+        zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=n,
+        method="des", des_requests=600, seed=5,
+    )
+    base_ev = measure_eval.evaluate(base_config(fam, n))
+    objective = ObjectiveSpec(
+        lambda_weight=0.5,
+        a_base=fam.base_accuracy,
+        c_base=0.0015,
+        sla=SlaPolicy(p95_target_ms=base_ev.p95_ms),
+    )
+    return fam, n, rate, opt_eval, measure_eval, objective
+
+
+def build_controller(parts, scheme_name, trace, step_s=1800.0):
+    fam, n, rate, opt_eval, measure_eval, objective = parts
+    scheme = make_scheme(
+        scheme_name,
+        zoo=opt_eval.zoo,
+        family=fam.name,
+        n_gpus=n,
+        evaluator=opt_eval,
+        objective=objective,
+        mixer=RngMixer(seed=0),
+    )
+    return ServiceController(
+        scheme=scheme,
+        objective=objective,
+        monitor=CarbonIntensityMonitor(trace),
+        measure_evaluator=measure_eval,
+        rate_per_s=rate,
+        application="classification",
+        step_s=step_s,
+    )
+
+
+class TestEpochAccounting:
+    def test_epoch_count(self, parts):
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.run(6.0)
+        assert len(result.epochs) == 12  # 6 h at 30-minute epochs
+        assert result.duration_h == pytest.approx(6.0)
+
+    def test_requests_match_rate(self, parts):
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.run(4.0)
+        expected = result.rate_per_s * 4 * 3600.0
+        assert result.total_requests == pytest.approx(expected, rel=0.01)
+
+    def test_carbon_is_energy_times_intensity(self, parts):
+        ci = 250.0
+        controller = build_controller(parts, "base", flat_trace(ci))
+        result = controller.run(4.0)
+        expected = result.total_energy_j / 3.6e6 * 1.5 * ci
+        assert result.total_carbon_g == pytest.approx(expected, rel=1e-6)
+
+    def test_base_never_reoptimizes(self, parts):
+        controller = build_controller(parts, "base", varying_trace())
+        result = controller.run(24.0)
+        assert len(result.invocations) == 1  # initial deployment only
+        optimized_epochs = [e for e in result.epochs if e.optimized]
+        assert len(optimized_epochs) == 1
+
+    def test_clover_reoptimizes_on_intensity_changes(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(24.0)
+        assert len(result.invocations) > 3
+        assert result.total_evaluations > 0
+
+    def test_flat_trace_triggers_once(self, parts):
+        controller = build_controller(parts, "clover", flat_trace())
+        result = controller.run(12.0)
+        assert len(result.invocations) == 1
+
+    def test_accuracy_request_weighted(self, parts, zoo):
+        fam = zoo.family("efficientnet")
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.run(4.0)
+        assert result.mean_accuracy == pytest.approx(fam.base_accuracy, rel=0.01)
+        assert result.accuracy_loss_pct == pytest.approx(0.0, abs=0.5)
+
+    def test_optimization_time_accounted(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(24.0)
+        assert result.total_optimization_s > 0
+        assert 0 < result.optimization_fraction < 0.2
+        # Each epoch's exploration is capped to 90% of the epoch.
+        for e in result.epochs:
+            assert e.optimization_s <= 0.9 * e.duration_s + 1e-9
+
+    def test_window_breakdown_covers_run(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(24.0)
+        windows = result.optimization_fraction_by_window(8.0)
+        assert len(windows) == 3
+        assert all(w >= 0 for w in windows)
+
+    def test_objective_series_shape(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(12.0)
+        t, f = result.objective_series()
+        assert t.shape == f.shape == (len(result.epochs),)
+
+    def test_invalid_duration(self, parts):
+        controller = build_controller(parts, "base", flat_trace())
+        with pytest.raises(ValueError):
+            controller.run(0.0)
+
+    def test_invalid_step(self, parts):
+        with pytest.raises(ValueError):
+            build_controller(parts, "base", flat_trace(), step_s=0.0)
+
+
+class TestInvocationRecords:
+    def test_candidates_recorded(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(24.0)
+        with_evals = [i for i in result.invocations if i.num_evaluations > 0]
+        assert with_evals
+        inv = with_evals[0]
+        assert len(inv.candidates) == inv.num_evaluations
+        assert inv.sla_met_count + inv.sla_violated_count == len(inv.candidates)
+
+    def test_candidate_orders_sequential(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(12.0)
+        for inv in result.invocations:
+            assert [c.order for c in inv.candidates] == list(
+                range(len(inv.candidates))
+            )

@@ -1,0 +1,163 @@
+"""Configuration evaluator: accuracy/energy/latency and caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import base_config, co2opt_config, uniform_config
+from repro.core.evaluator import ConfigEvaluator
+from repro.serving.workload import default_rate
+
+
+@pytest.fixture()
+def evaluator(zoo, perf):
+    fam = zoo.family("efficientnet")
+    rate = default_rate(fam, perf, 4)
+    return ConfigEvaluator(
+        zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=4,
+        method="analytic",
+    )
+
+
+@pytest.fixture()
+def des_evaluator(zoo, perf):
+    fam = zoo.family("efficientnet")
+    rate = default_rate(fam, perf, 4)
+    return ConfigEvaluator(
+        zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=4,
+        method="des", des_requests=4000, seed=1,
+    )
+
+
+class TestBasics:
+    def test_base_config_metrics(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        ev = evaluator.evaluate(base_config(fam, 4))
+        assert ev.accuracy == pytest.approx(fam.largest.accuracy)
+        assert not ev.overloaded
+        assert ev.utilization == pytest.approx(0.65, abs=0.01)
+        assert ev.num_instances == 4
+
+    def test_co2opt_uses_less_energy_than_base(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        base = evaluator.evaluate(base_config(fam, 4))
+        small = evaluator.evaluate(co2opt_config(fam, 4))
+        assert small.energy_per_request_j < 0.4 * base.energy_per_request_j
+        assert small.accuracy < base.accuracy
+
+    def test_mixture_accuracy_between_extremes(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        mixed = evaluator.evaluate(uniform_config(fam, 4, 3, 2))
+        assert fam.smallest.accuracy <= mixed.accuracy <= fam.largest.accuracy
+
+    def test_power_includes_static_floor(self, zoo, perf, evaluator):
+        fam = zoo.family("efficientnet")
+        ev = evaluator.evaluate(co2opt_config(fam, 4))
+        assert ev.power_watts >= 4 * perf.power.static_watts_per_gpu()
+
+    def test_family_mismatch_rejected(self, zoo, evaluator):
+        cfg = base_config(zoo.family("albert"), 4)
+        with pytest.raises(ValueError, match="evaluator serves"):
+            evaluator.evaluate(cfg)
+
+    def test_gpu_count_mismatch_rejected(self, zoo, evaluator):
+        cfg = base_config(zoo.family("efficientnet"), 2)
+        with pytest.raises(ValueError, match="sized for"):
+            evaluator.evaluate(cfg)
+
+
+class TestOverload:
+    def test_overload_detected(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        rate = default_rate(fam, perf, 10)  # load sized for 10 GPUs ...
+        ev = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=2,
+            method="analytic",
+        ).evaluate(base_config(fam, 2))  # ... on 2 GPUs
+        assert ev.overloaded
+        assert ev.p95_ms == float("inf")
+        assert ev.energy_per_request_j > 0
+
+    def test_des_overload_flag(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        rate = default_rate(fam, perf, 10)
+        ev = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=2,
+            method="des", des_requests=1000,
+        ).evaluate(base_config(fam, 2))
+        assert ev.overloaded
+        assert ev.p95_ms == float("inf")
+
+
+class TestCaching:
+    def test_cache_hits_by_graph(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        c1 = uniform_config(fam, 4, 3, 2)
+        # Same multiset, permuted GPU order -> same graph -> cache hit.
+        c2 = c1.canonical()
+        evaluator.evaluate(c1)
+        n = evaluator.cache_size
+        evaluator.evaluate(c2)
+        assert evaluator.cache_size == n
+
+    def test_distinct_configs_distinct_entries(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        evaluator.evaluate(uniform_config(fam, 4, 1, 4))
+        n = evaluator.cache_size
+        evaluator.evaluate(uniform_config(fam, 4, 1, 3))
+        assert evaluator.cache_size == n + 1
+
+    def test_cached_result_identical(self, zoo, des_evaluator):
+        fam = zoo.family("efficientnet")
+        cfg = uniform_config(fam, 4, 19, 2)
+        a = des_evaluator.evaluate(cfg)
+        b = des_evaluator.evaluate(cfg)
+        assert a is b
+
+
+class TestDesVsAnalytic:
+    def test_methods_agree_on_structure(self, zoo, evaluator, des_evaluator):
+        """Analytic (optimizer) and DES (measurement) must tell the same
+        story: close accuracy/energy, p95 within tolerance."""
+        fam = zoo.family("efficientnet")
+        for cfg in (
+            base_config(fam, 4),
+            co2opt_config(fam, 4),
+            uniform_config(fam, 4, 3, 2),
+        ):
+            a = evaluator.evaluate(cfg)
+            d = des_evaluator.evaluate(cfg)
+            assert a.accuracy == pytest.approx(d.accuracy, rel=0.02)
+            assert a.energy_per_request_j == pytest.approx(
+                d.energy_per_request_j, rel=0.1
+            )
+            assert a.p95_ms == pytest.approx(d.p95_ms, rel=0.25)
+
+    def test_des_deterministic_per_graph(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        rate = default_rate(fam, perf, 4)
+        cfg = uniform_config(fam, 4, 10, 2)
+        e1 = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=4,
+            method="des", des_requests=2000, seed=9,
+        ).evaluate(cfg)
+        e2 = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=4,
+            method="des", des_requests=2000, seed=9,
+        ).evaluate(cfg)
+        assert e1.p95_ms == e2.p95_ms
+
+
+class TestValidation:
+    def test_bad_method_rejected(self, zoo, perf):
+        with pytest.raises(ValueError):
+            ConfigEvaluator(
+                zoo=zoo, perf=perf, family="efficientnet", rate_per_s=1.0,
+                n_gpus=1, method="magic",
+            )
+
+    def test_bad_rate_rejected(self, zoo, perf):
+        with pytest.raises(ValueError):
+            ConfigEvaluator(
+                zoo=zoo, perf=perf, family="efficientnet", rate_per_s=0.0,
+                n_gpus=1,
+            )

@@ -1,0 +1,90 @@
+"""Pod-based multi-application hosting."""
+
+import pytest
+
+from repro.core.pods import FleetReport, MultiApplicationService, PodSpec
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return MultiApplicationService.create(
+        pod_specs=(
+            PodSpec("classification", n_gpus=2),
+            PodSpec("language", n_gpus=2),
+        ),
+        scheme="clover",
+        fidelity="smoke",
+        seed=0,
+    )
+
+
+class TestCreate:
+    def test_default_fleet_is_three_pods(self):
+        fleet = MultiApplicationService.create(fidelity="smoke", seed=0)
+        assert set(fleet.pods) == {"detection", "language", "classification"}
+
+    def test_duplicate_application_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiApplicationService.create(
+                pod_specs=(PodSpec("language"), PodSpec("language")),
+                fidelity="smoke",
+            )
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            MultiApplicationService.create(pod_specs=(), fidelity="smoke")
+        with pytest.raises(ValueError):
+            MultiApplicationService({})
+
+    def test_pod_spec_validation(self):
+        with pytest.raises(ValueError):
+            PodSpec("language", n_gpus=0)
+
+
+class TestRun:
+    def test_fleet_report_aggregates(self, small_fleet):
+        report = small_fleet.run(duration_h=6.0)
+        assert set(report.per_pod) == {"classification", "language"}
+        assert report.total_gpus == 4
+        assert report.total_requests > 0
+        assert report.total_carbon_g == pytest.approx(
+            sum(r.total_carbon_g for r in report.per_pod.values())
+        )
+
+    def test_mean_accuracy_loss_is_per_model_average(self, small_fleet):
+        report = small_fleet.run(duration_h=6.0)
+        losses = [r.accuracy_loss_pct for r in report.per_pod.values()]
+        assert report.mean_accuracy_loss_pct == pytest.approx(
+            sum(losses) / len(losses)
+        )
+
+    def test_fleet_savings_vs_base_fleet(self):
+        """The paper's aggregate claim at fleet level: Clover pods save big
+        carbon against BASE pods on the identical workload."""
+        kwargs = dict(
+            pod_specs=(
+                PodSpec("classification", n_gpus=2),
+                PodSpec("language", n_gpus=2),
+            ),
+            fidelity="smoke",
+            seed=0,
+        )
+        base = MultiApplicationService.create(scheme="base", **kwargs).run(
+            duration_h=24.0
+        )
+        clover = MultiApplicationService.create(scheme="clover", **kwargs).run(
+            duration_h=24.0
+        )
+        assert clover.carbon_saving_pct(base) > 40.0
+        assert clover.mean_carbon_saving_pct(base) > 40.0
+
+    def test_mean_saving_requires_matching_pods(self, small_fleet):
+        report = small_fleet.run(duration_h=4.0)
+        other = FleetReport(per_pod={"detection": next(iter(report.per_pod.values()))})
+        with pytest.raises(KeyError):
+            report.mean_carbon_saving_pct(other)
+
+    def test_saving_requires_nonzero_baseline(self, small_fleet):
+        report = small_fleet.run(duration_h=4.0)
+        with pytest.raises(ValueError):
+            report.carbon_saving_pct(FleetReport())

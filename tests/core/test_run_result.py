@@ -1,0 +1,108 @@
+"""RunResult aggregate properties on synthetic epoch records."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import EpochRecord, RunResult
+
+
+def make_epoch(
+    index=0, t_h=0.0, requests=100.0, carbon_g=10.0, energy_j=1000.0,
+    accuracy=80.0, p95_ms=30.0, sla_met=True, optimization_s=0.0,
+    duration_s=600.0, f=20.0,
+):
+    return EpochRecord(
+        index=index, t_h=t_h, duration_s=duration_s, ci=200.0,
+        config_label="(1,)", num_instances=1, requests=requests,
+        energy_j=energy_j, carbon_g=carbon_g, accuracy=accuracy,
+        p95_ms=p95_ms, sla_met=sla_met, f_objective=f,
+        delta_accuracy_pct=0.0, delta_carbon_pct=0.0, optimized=False,
+        optimization_s=optimization_s, num_evaluations=0,
+    )
+
+
+def make_result(epochs):
+    return RunResult(
+        scheme_name="test", family="efficientnet", application="classification",
+        n_gpus=1, rate_per_s=10.0, sla_target_ms=40.0, lambda_weight=0.5,
+        a_base=84.3, c_base=0.002, trace_name="t", epochs=epochs,
+    )
+
+
+class TestAggregates:
+    def test_totals_are_sums(self):
+        r = make_result([make_epoch(carbon_g=5.0), make_epoch(carbon_g=7.0)])
+        assert r.total_carbon_g == 12.0
+        assert r.total_requests == 200.0
+        assert r.carbon_g_per_request == pytest.approx(0.06)
+
+    def test_mean_accuracy_is_request_weighted(self):
+        r = make_result(
+            [
+                make_epoch(requests=300.0, accuracy=90.0),
+                make_epoch(requests=100.0, accuracy=70.0),
+            ]
+        )
+        assert r.mean_accuracy == pytest.approx(85.0)
+
+    def test_accuracy_loss_sign(self):
+        r = make_result([make_epoch(accuracy=84.3)])
+        assert r.accuracy_loss_pct == pytest.approx(0.0)
+        r2 = make_result([make_epoch(accuracy=80.0)])
+        assert r2.accuracy_loss_pct > 0
+
+    def test_p95_skips_infinite_epochs(self):
+        r = make_result(
+            [
+                make_epoch(p95_ms=30.0),
+                make_epoch(p95_ms=float("inf"), sla_met=False),
+            ]
+        )
+        assert r.p95_ms == pytest.approx(30.0)
+        assert r.worst_p95_ms == float("inf")
+
+    def test_p95_all_overloaded_is_infinite(self):
+        r = make_result([make_epoch(p95_ms=float("inf"), sla_met=False)])
+        assert r.p95_ms == float("inf")
+
+    def test_sla_violation_fraction_is_request_weighted(self):
+        r = make_result(
+            [
+                make_epoch(requests=300.0, sla_met=True),
+                make_epoch(requests=100.0, sla_met=False),
+            ]
+        )
+        assert r.sla_violation_fraction == pytest.approx(0.25)
+
+    def test_optimization_fraction(self):
+        r = make_result(
+            [
+                make_epoch(optimization_s=60.0),
+                make_epoch(optimization_s=0.0),
+            ]
+        )
+        assert r.optimization_fraction == pytest.approx(60.0 / 1200.0)
+
+    def test_window_breakdown_buckets_by_hour(self):
+        epochs = [
+            make_epoch(index=i, t_h=float(i), optimization_s=36.0 * (i < 8),
+                       duration_s=3600.0)
+            for i in range(16)
+        ]
+        r = make_result(epochs)
+        windows = r.optimization_fraction_by_window(8.0)
+        assert len(windows) == 2
+        assert windows[0] == pytest.approx(0.01)
+        assert windows[1] == 0.0
+
+    def test_window_validation(self):
+        r = make_result([make_epoch()])
+        with pytest.raises(ValueError):
+            r.optimization_fraction_by_window(0.0)
+
+    def test_series_shapes(self):
+        r = make_result([make_epoch(index=i, t_h=float(i)) for i in range(5)])
+        t, f = r.objective_series()
+        tc, c = r.carbon_series()
+        assert t.shape == f.shape == tc.shape == c.shape == (5,)
+        assert np.all(np.diff(t) > 0)

@@ -1,0 +1,68 @@
+"""GPU device state and reconfiguration costs."""
+
+import pytest
+
+from repro.gpu.device import A100_40GB, GpuDevice, GpuSpec
+
+
+class TestGpuSpec:
+    def test_a100_constants(self):
+        assert A100_40GB.memory_gb == 40.0
+        assert A100_40GB.peak_tflops > 0
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", peak_tflops=0.0, memory_gb=40.0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            GpuSpec(
+                name="bad", peak_tflops=1.0, memory_gb=1.0,
+                repartition_seconds=-1.0,
+            )
+
+
+class TestGpuDevice:
+    def test_starts_unpartitioned(self):
+        dev = GpuDevice(gpu_id=0)
+        assert dev.partition_id == 1
+        assert dev.num_instances == 1
+        assert [s.name for s in dev.slices] == ["7g"]
+
+    def test_invalid_initial_partition_raises(self):
+        with pytest.raises(ValueError):
+            GpuDevice(gpu_id=0, partition_id=42)
+
+    def test_repartition_changes_state_and_costs_time(self):
+        dev = GpuDevice(gpu_id=0)
+        downtime = dev.repartition(19)
+        assert dev.partition_id == 19
+        assert dev.num_instances == 7
+        # MIG reconfig plus one model load per new slice.
+        expected = A100_40GB.repartition_seconds + 7 * A100_40GB.model_load_seconds
+        assert downtime == pytest.approx(expected)
+
+    def test_repartition_to_same_config_is_free(self):
+        dev = GpuDevice(gpu_id=0, partition_id=3)
+        assert dev.repartition(3) == 0.0
+        assert dev.reconfig_count == 0
+
+    def test_reconfig_count_increments(self):
+        dev = GpuDevice(gpu_id=0)
+        dev.repartition(3)
+        dev.repartition(19)
+        dev.repartition(19)  # no-op
+        assert dev.reconfig_count == 2
+
+    def test_reload_models_cost(self):
+        dev = GpuDevice(gpu_id=0, partition_id=3)  # 3 slices
+        assert dev.reload_models(2) == pytest.approx(
+            2 * A100_40GB.model_load_seconds
+        )
+
+    def test_reload_models_bounds(self):
+        dev = GpuDevice(gpu_id=0, partition_id=3)
+        with pytest.raises(ValueError):
+            dev.reload_models(4)
+        with pytest.raises(ValueError):
+            dev.reload_models(-1)

@@ -1,0 +1,173 @@
+"""The 19 MIG partition configurations (paper Fig. 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.partitions import (
+    ALL_PARTITION_HISTOGRAMS,
+    FINEST_PARTITION_ID,
+    FULL_GPU_PARTITION_ID,
+    MIG_PARTITIONS,
+    NUM_PARTITIONS,
+    partition_by_id,
+    partition_histogram,
+    placement_feasible,
+)
+from repro.gpu.slices import SLICE_TYPES, slice_by_name
+
+
+class TestTableStructure:
+    def test_exactly_19_configurations(self):
+        assert NUM_PARTITIONS == 19
+
+    def test_config_ids_are_1_to_19(self):
+        assert [p.config_id for p in MIG_PARTITIONS] == list(range(1, 20))
+
+    def test_paper_anchor_1_is_full_gpu(self):
+        p = partition_by_id(FULL_GPU_PARTITION_ID)
+        assert [s.name for s in p.slices] == ["7g"]
+
+    def test_paper_anchor_3_is_4g_2g_1g(self):
+        # "C2 partitions the GPU into {4g, 2g, 1g}" (Fig. 3).
+        p = partition_by_id(3)
+        assert sorted(s.name for s in p.slices) == ["1g", "2g", "4g"]
+
+    def test_paper_anchor_10_is_3g_2g_1g_1g(self):
+        # "configuration number 10 ... partitions GPU into {1g, 1g, 2g, 3g}".
+        p = partition_by_id(10)
+        assert sorted(s.name for s in p.slices) == ["1g", "1g", "2g", "3g"]
+
+    def test_paper_anchor_19_is_seven_1g(self):
+        p = partition_by_id(FINEST_PARTITION_ID)
+        assert [s.name for s in p.slices] == ["1g"] * 7
+
+    def test_every_entry_is_placement_feasible(self):
+        for p in MIG_PARTITIONS:
+            assert placement_feasible(p.slices), p
+
+    def test_all_entries_distinct_as_multisets(self):
+        seen = {tuple(sorted(s.name for s in p.slices)) for p in MIG_PARTITIONS}
+        assert len(seen) == 19
+
+    def test_slices_ordered_largest_first(self):
+        for p in MIG_PARTITIONS:
+            slots = [s.compute_slots for s in p.slices]
+            assert slots == sorted(slots, reverse=True), p
+
+    def test_instance_count_bounds(self):
+        for p in MIG_PARTITIONS:
+            assert 1 <= p.num_instances <= 7
+
+    def test_resource_budgets_respected(self):
+        for p in MIG_PARTITIONS:
+            assert p.compute_slots_used <= 7
+            assert p.memory_slices_used <= 8
+
+
+class TestExhaustiveness:
+    def test_table_contains_every_placeable_multiset_it_should(self):
+        """Brute-force all slice multisets; each placeable one whose
+        further extension is impossible must map to a table entry or be a
+        sub-multiset of one (the canonical 19 are NVIDIA's profiles;
+        placeable sub-multisets are transient states, not configurations)."""
+        names = ["1g", "2g", "3g", "4g", "7g"]
+        table = {tuple(sorted(s.name for s in p.slices)) for p in MIG_PARTITIONS}
+        # All multisets up to 7 slices.
+        for r in range(1, 8):
+            for combo in itertools.combinations_with_replacement(names, r):
+                slices = tuple(slice_by_name(n) for n in combo)
+                if not placement_feasible(slices):
+                    assert tuple(sorted(combo)) not in table
+    def test_maximal_placeable_multisets_are_all_in_table(self):
+        names = ["1g", "2g", "3g", "4g", "7g"]
+        table = {tuple(sorted(s.name for s in p.slices)) for p in MIG_PARTITIONS}
+        for r in range(1, 8):
+            for combo in itertools.combinations_with_replacement(names, r):
+                slices = tuple(slice_by_name(n) for n in combo)
+                if not placement_feasible(slices):
+                    continue
+                # Maximal: no single extra slice can be added.
+                extendable = any(
+                    placement_feasible(slices + (slice_by_name(n),))
+                    for n in names
+                )
+                if not extendable:
+                    assert tuple(sorted(combo)) in table, combo
+
+
+class TestPlacementRules:
+    def test_7g_must_be_alone(self):
+        assert not placement_feasible(
+            (slice_by_name("7g"), slice_by_name("1g"))
+        )
+
+    def test_two_4g_do_not_fit(self):
+        assert not placement_feasible((slice_by_name("4g"),) * 2)
+
+    def test_4g_plus_3g_fits(self):
+        assert placement_feasible((slice_by_name("4g"), slice_by_name("3g")))
+
+    def test_4g_plus_two_3g_does_not_fit(self):
+        assert not placement_feasible(
+            (slice_by_name("4g"), slice_by_name("3g"), slice_by_name("3g"))
+        )
+
+    def test_two_3g_plus_1g_blocked_by_memory(self):
+        # 3g+3g consumes all 8 memory slices: no room for 1g's memory.
+        assert not placement_feasible(
+            (slice_by_name("3g"), slice_by_name("3g"), slice_by_name("1g"))
+        )
+
+    def test_three_2g_plus_one_1g_fits(self):
+        # Config 13 in the table.
+        assert placement_feasible(
+            (slice_by_name("2g"),) * 3 + (slice_by_name("1g"),)
+        )
+
+    def test_four_2g_does_not_fit(self):
+        # Only three aligned 2g starts exist (slots 0, 2, 4).
+        assert not placement_feasible((slice_by_name("2g"),) * 4)
+
+    def test_3g_2g_2g_fits(self):
+        # Config 9: 3g right half, two 2g pairs in the left half.
+        assert placement_feasible(
+            (slice_by_name("3g"), slice_by_name("2g"), slice_by_name("2g"))
+        )
+
+
+class TestHistograms:
+    def test_histogram_matrix_shape(self):
+        assert ALL_PARTITION_HISTOGRAMS.shape == (19, 5)
+
+    def test_histogram_matches_slices(self):
+        for p in MIG_PARTITIONS:
+            h = partition_histogram(p.config_id)
+            assert h.sum() == p.num_instances
+            for s in SLICE_TYPES:
+                assert h[s.index] == sum(1 for x in p.slices if x is s)
+
+    def test_histogram_matrix_readonly(self):
+        with pytest.raises(ValueError):
+            ALL_PARTITION_HISTOGRAMS[0, 0] = 5
+
+    def test_partition_histogram_returns_copy(self):
+        h = partition_histogram(1)
+        h[0] = 99
+        assert partition_histogram(1)[0] == 0
+
+
+class TestLookupValidation:
+    @pytest.mark.parametrize("bad_id", [0, 20, -3, 100])
+    def test_out_of_range_ids_raise(self, bad_id):
+        with pytest.raises(ValueError, match="config id"):
+            partition_by_id(bad_id)
+
+    @given(st.integers(min_value=1, max_value=19))
+    def test_lookup_round_trip(self, config_id):
+        assert partition_by_id(config_id).config_id == config_id
+
+    def test_str_shows_id_and_slices(self):
+        assert str(partition_by_id(3)) == "#3:{4g, 2g, 1g}"

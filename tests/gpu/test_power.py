@@ -1,0 +1,62 @@
+"""Node power model: static floor plus slice-proportional dynamic draw."""
+
+import pytest
+
+from repro.gpu.power import PowerModel
+from repro.gpu.slices import slice_by_name
+
+
+class TestPowerModel:
+    def test_tdp_is_idle_plus_peak(self):
+        pm = PowerModel(idle_watts=20.0, peak_dynamic_watts=360.0)
+        assert pm.tdp_watts == pytest.approx(380.0)
+
+    def test_static_includes_host_share(self):
+        pm = PowerModel(idle_watts=20.0, host_watts_per_gpu=15.0)
+        assert pm.static_watts_per_gpu() == pytest.approx(35.0)
+
+    def test_slice_dynamic_scales_with_compute_fraction(self):
+        pm = PowerModel()
+        full = pm.slice_dynamic_watts(slice_by_name("7g"), intensity=1.0)
+        small = pm.slice_dynamic_watts(slice_by_name("1g"), intensity=1.0)
+        assert small == pytest.approx(full / 7)
+
+    def test_intensity_scales_linearly(self):
+        pm = PowerModel()
+        s = slice_by_name("3g")
+        assert pm.slice_dynamic_watts(s, 0.5) == pytest.approx(
+            0.5 * pm.slice_dynamic_watts(s, 1.0)
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_intensity_out_of_range_raises(self, bad):
+        with pytest.raises(ValueError):
+            PowerModel().slice_dynamic_watts(slice_by_name("1g"), bad)
+
+    def test_gpu_power_sums_busy_slices(self):
+        pm = PowerModel()
+        s1, s2 = slice_by_name("4g"), slice_by_name("2g")
+        p = pm.gpu_power([(s1, 0.5, 1.0), (s2, 1.0, 0.8)])
+        expected = (
+            pm.static_watts_per_gpu()
+            + 0.5 * pm.slice_dynamic_watts(s1, 1.0)
+            + 1.0 * pm.slice_dynamic_watts(s2, 0.8)
+        )
+        assert p == pytest.approx(expected)
+
+    def test_idle_gpu_draws_static_only(self):
+        pm = PowerModel()
+        assert pm.gpu_power([]) == pytest.approx(pm.static_watts_per_gpu())
+
+    def test_gpu_power_rejects_bad_utilization(self):
+        pm = PowerModel()
+        with pytest.raises(ValueError):
+            pm.gpu_power([(slice_by_name("1g"), 1.2, 1.0)])
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(peak_dynamic_watts=0.0)
+        with pytest.raises(ValueError):
+            PowerModel(host_watts_per_gpu=-5.0)

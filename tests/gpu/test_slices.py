@@ -1,0 +1,62 @@
+"""MIG slice-type table: the A100 geometry the whole system builds on."""
+
+import pytest
+
+from repro.gpu.slices import (
+    COMPUTE_SLOTS_PER_GPU,
+    MEMORY_GB_PER_SLICE,
+    MEMORY_SLICES_PER_GPU,
+    SLICE_NAME_TO_INDEX,
+    SLICE_TYPES,
+    slice_by_name,
+)
+
+
+class TestSliceTable:
+    def test_five_slice_types(self):
+        assert len(SLICE_TYPES) == 5
+
+    def test_names_in_size_order(self):
+        assert [s.name for s in SLICE_TYPES] == ["1g", "2g", "3g", "4g", "7g"]
+
+    def test_indices_are_dense(self):
+        assert [s.index for s in SLICE_TYPES] == [0, 1, 2, 3, 4]
+
+    def test_compute_slots_match_g_number(self):
+        for s in SLICE_TYPES:
+            assert s.compute_slots == int(s.name[:-1])
+
+    def test_3g_has_asymmetric_memory(self):
+        # 3g takes 4 of the 8 memory slices for 3 of the 7 compute slots —
+        # the quirk that limits 3g+3g layouts on a real A100.
+        s = slice_by_name("3g")
+        assert s.memory_slices == 4
+
+    def test_7g_owns_the_whole_gpu(self):
+        s = slice_by_name("7g")
+        assert s.compute_slots == COMPUTE_SLOTS_PER_GPU
+        assert s.memory_slices == MEMORY_SLICES_PER_GPU
+
+    def test_memory_gb(self):
+        assert slice_by_name("1g").memory_gb == pytest.approx(MEMORY_GB_PER_SLICE)
+        assert slice_by_name("7g").memory_gb == pytest.approx(40.0)
+
+    def test_compute_fraction_sums(self):
+        assert slice_by_name("7g").compute_fraction == pytest.approx(1.0)
+        assert slice_by_name("1g").compute_fraction == pytest.approx(1 / 7)
+
+
+class TestLookup:
+    def test_round_trip(self):
+        for s in SLICE_TYPES:
+            assert slice_by_name(s.name) is s
+
+    def test_name_to_index(self):
+        assert SLICE_NAME_TO_INDEX["3g"] == 2
+
+    def test_unknown_name_raises_with_valid_options(self):
+        with pytest.raises(KeyError, match="valid"):
+            slice_by_name("5g")
+
+    def test_ordering_is_by_compute(self):
+        assert sorted(SLICE_TYPES) == list(SLICE_TYPES)

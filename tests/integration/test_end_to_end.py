@@ -1,0 +1,152 @@
+"""End-to-end integration: the paper's headline orderings must hold.
+
+These run the full service (controller, scheme, DES measurement) at smoke
+fidelity over the 48-hour CISO trace on a reduced cluster — slow-ish tests
+(a few seconds total) that pin the system-level behaviour every figure
+depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.service import CarbonAwareInferenceService
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for scheme in ("base", "co2opt", "blover", "clover", "oracle"):
+        service = CarbonAwareInferenceService.create(
+            application="classification", scheme=scheme,
+            fidelity="default", seed=0,
+        )
+        out[scheme] = service.run(duration_h=48.0)
+    return out
+
+
+def saving(results, scheme):
+    return 1.0 - results[scheme].total_carbon_g / results["base"].total_carbon_g
+
+
+class TestHeadlineOrderings:
+    def test_all_carbon_aware_schemes_beat_base(self, results):
+        for scheme in ("co2opt", "blover", "clover", "oracle"):
+            assert saving(results, scheme) > 0.3
+
+    def test_co2opt_saves_most_carbon(self, results):
+        """CO2OPT is the carbon-optimal static policy by construction."""
+        assert saving(results, "co2opt") >= saving(results, "clover") - 0.02
+        assert saving(results, "co2opt") >= saving(results, "blover")
+
+    def test_co2opt_has_worst_accuracy(self, results):
+        """'the worst-case accuracy is represented by CO2OPT'."""
+        for scheme in ("base", "blover", "clover", "oracle"):
+            assert (
+                results[scheme].accuracy_loss_pct
+                <= results["co2opt"].accuracy_loss_pct + 1e-9
+            )
+
+    def test_clover_beats_blover_on_carbon(self, results):
+        """The graph-based optimization is the paper's core claim."""
+        assert saving(results, "clover") > saving(results, "blover") + 0.05
+
+    def test_clover_close_to_oracle(self, results):
+        """'Clover is within 5% of the practically-infeasible Oracle'."""
+        assert saving(results, "oracle") - saving(results, "clover") < 0.08
+
+    def test_clover_carbon_band_matches_paper(self, results):
+        """'over 75% carbon emission savings' (we accept 65%+ at smoke
+        fidelity on the reduced measurement sample)."""
+        assert saving(results, "clover") > 0.65
+
+    def test_clover_accuracy_loss_band(self, results):
+        """'minimal accuracy degradation (2-4%)'."""
+        assert 0.5 <= results["clover"].accuracy_loss_pct <= 5.5
+
+    def test_clover_latency_below_base(self, results):
+        """Fig. 9 right: Clover's p95 lands *below* BASE's despite the
+        partitioning, because smaller variants are faster."""
+        assert results["clover"].p95_ms < results["base"].p95_ms
+
+
+class TestOptimizationBehaviour:
+    def test_clover_spends_low_single_digit_percent_optimizing(self, results):
+        """Fig. 12a: ~1.2% for Clover (band: under 4%)."""
+        assert results["clover"].optimization_fraction < 0.04
+
+    def test_blover_spends_more_time_optimizing(self, results):
+        """Fig. 12a: Blover's raw-space search costs ~2x Clover's time."""
+        assert (
+            results["blover"].optimization_fraction
+            > 1.5 * results["clover"].optimization_fraction
+        )
+
+    def test_clover_candidates_mostly_sla_compliant(self, results):
+        """Fig. 12b: the SA guides Clover toward SLA-compliant
+        neighbourhoods (paper: ~60% of evaluated configs meet the SLA)."""
+        r = results["clover"]
+        assert r.evaluations_sla_met / r.total_evaluations > 0.5
+
+    def test_blover_candidates_mostly_violate(self, results):
+        r = results["blover"]
+        assert r.evaluations_sla_met / r.total_evaluations < 0.5
+
+    def test_oracle_has_zero_optimization_time(self, results):
+        assert results["oracle"].total_optimization_s == pytest.approx(
+            0.0, abs=120.0  # initial cold-start deployment only
+        )
+
+    def test_carbon_aware_schemes_reoptimize_many_times(self, results):
+        for scheme in ("clover", "blover", "oracle"):
+            assert len(results[scheme].invocations) >= 5
+
+    def test_static_schemes_never_reoptimize(self, results):
+        for scheme in ("base", "co2opt"):
+            assert len(results[scheme].invocations) == 1
+
+
+class TestObjectiveTimeline:
+    def test_clover_objective_tracks_oracle(self, results):
+        """Fig. 11: Clover's objective closely follows ORACLE's."""
+        _, f_clover = results["clover"].objective_series()
+        _, f_oracle = results["oracle"].objective_series()
+        assert f_clover.mean() > 0.85 * f_oracle.mean()
+
+    def test_blover_objective_below_clover(self, results):
+        _, f_clover = results["clover"].objective_series()
+        _, f_blover = results["blover"].objective_series()
+        assert f_clover.mean() > f_blover.mean()
+
+    def test_all_deployed_configs_meet_sla_for_clover(self, results):
+        """The SLA is a hard constraint on deployment (Eq. 5): epochs where
+        Clover's *deployed* config violates must be rare (measurement noise
+        only)."""
+        r = results["clover"]
+        violating = sum(1 for e in r.epochs if not e.sla_met)
+        assert violating / len(r.epochs) < 0.15
+
+
+class TestCrossApplication:
+    @pytest.mark.parametrize("application", ["detection", "language"])
+    def test_clover_effective_on_other_apps(self, application):
+        """Fig. 9 spans all three Table-1 applications.
+
+        Absolute accuracy-loss magnitudes are family-specific (see
+        EXPERIMENTS.md: our detection/language losses run above the paper's
+        2-4% because Eq. 3 at lambda=0.5 is carbon-dominated under our
+        energy calibration); the robust claims are big carbon savings and
+        accuracy no worse than the CO2OPT floor.
+        """
+        runs = {}
+        for scheme in ("base", "co2opt", "clover"):
+            runs[scheme] = CarbonAwareInferenceService.create(
+                application=application, scheme=scheme,
+                fidelity="smoke", seed=0,
+            ).run(duration_h=24.0)
+        save = 1 - runs["clover"].total_carbon_g / runs["base"].total_carbon_g
+        assert save > 0.5
+        assert (
+            runs["clover"].accuracy_loss_pct
+            <= runs["co2opt"].accuracy_loss_pct + 1e-9
+        )
+        assert runs["clover"].p95_ms < runs["base"].p95_ms

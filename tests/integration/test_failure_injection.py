@@ -1,0 +1,173 @@
+"""Failure injection: the system must fail loudly and correctly.
+
+Overload, infeasible placements, degenerate traces, hostile parameters —
+each must either be handled with defined semantics (overload → infinite
+p95 → never deployable) or raise a clear error at the boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.core.config import ClusterConfig, GpuAssignment, base_config
+from repro.core.evaluator import ConfigEvaluator
+from repro.core.graph import ConfigGraph
+from repro.core.moves import MoveGenerator
+from repro.core.objective import ObjectiveSpec
+from repro.core.schemes import make_scheme
+from repro.core.service import Baseline, CarbonAwareInferenceService
+from repro.serving.sla import SlaPolicy
+from repro.serving.workload import default_rate
+from repro.utils.rng import RngMixer
+
+
+class TestOverloadSemantics:
+    def test_overloaded_config_never_deployable(self, zoo, perf):
+        """A 20x overload must be rejected by every layer: infinite p95,
+        SLA unmet, not deployable, yet energy accounting still defined."""
+        fam = zoo.family("efficientnet")
+        evaluator = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name,
+            rate_per_s=20 * default_rate(fam, perf, 1), n_gpus=1,
+        )
+        ev = evaluator.evaluate(base_config(fam, 1))
+        assert ev.overloaded and ev.p95_ms == float("inf")
+        obj = ObjectiveSpec(
+            lambda_weight=0.5, a_base=fam.base_accuracy, c_base=0.002,
+            sla=SlaPolicy(p95_target_ms=50.0),
+        )
+        score = obj.score(ev.accuracy, ev.energy_per_request_j, ev.p95_ms, 200.0)
+        assert not score.deployable
+        assert score.sa_energy == 0.0  # Eq. 6 with zero penalty
+        assert np.isfinite(ev.energy_per_request_j)
+
+    def test_clover_survives_unsatisfiable_sla(self, zoo, perf):
+        """If NO configuration can meet the SLA, the scheme must stay on
+        the current deployment rather than deploy a violator."""
+        fam = zoo.family("efficientnet")
+        rate = default_rate(fam, perf, 2)
+        evaluator = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=2,
+        )
+        impossible = ObjectiveSpec(
+            lambda_weight=0.5, a_base=fam.base_accuracy, c_base=0.002,
+            sla=SlaPolicy(p95_target_ms=0.001),  # unmeetable
+        )
+        scheme = make_scheme(
+            "clover", zoo=zoo, family=fam.name, n_gpus=2,
+            evaluator=evaluator, objective=impossible, mixer=RngMixer(seed=0),
+        )
+        deployed = base_config(fam, 2)
+        outcome = scheme.optimize(200.0, deployed)
+        assert outcome.deployed == deployed  # stayed put
+        assert all(not c.value.sla_met for c in outcome.evaluated)
+
+
+class TestInfeasiblePlacements:
+    def test_oom_assignment_rejected_at_validation(self, zoo):
+        fam = zoo.family("yolov5")
+        cfg = ClusterConfig(
+            family=fam.name,
+            assignments=(
+                GpuAssignment(partition_id=19, variant_ordinals=(3,) * 7),
+            ),
+        )
+        with pytest.raises(ValueError, match="does not fit"):
+            cfg.validate_against(zoo)
+
+    def test_moves_never_produce_oom_from_adversarial_start(self, zoo):
+        """Start from the tightest memory corner (xxlarge everywhere it
+        fits) and hammer the move generator."""
+        moves = MoveGenerator(zoo=zoo, family="albert")
+        fam = zoo.family("albert")
+        config = ClusterConfig(
+            family=fam.name,
+            assignments=(
+                GpuAssignment(partition_id=4, variant_ordinals=(4, 4)),
+            ) * 3,
+        )
+        config.validate_against(zoo)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            nxt = moves.propose(config, rng)
+            if nxt is not None:
+                nxt.validate_against(zoo)
+                config = nxt
+
+    def test_evaluator_raises_on_oom_graph(self, zoo, perf):
+        fam = zoo.family("albert")
+        w = np.zeros((fam.num_variants, 5), dtype=np.int64)
+        w[3, 0] = 1  # xxlarge on 1g
+        graph = ConfigGraph(family=fam.name, weights=w)
+        evaluator = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=10.0, n_gpus=1,
+        )
+        from repro.models.perf import OutOfMemoryError
+
+        with pytest.raises(OutOfMemoryError):
+            evaluator.evaluate_graph(graph)
+
+
+class TestDegenerateTraces:
+    def test_two_point_trace_works(self):
+        trace = CarbonIntensityTrace(
+            times_h=np.array([0.0, 48.0]), values=np.array([150.0, 150.0])
+        )
+        service = CarbonAwareInferenceService.create(
+            application="classification", scheme="clover", trace=trace,
+            fidelity="smoke", seed=0, n_gpus=2,
+        )
+        report = service.run(duration_h=4.0)
+        assert len(report.invocations) == 1  # flat: one trigger only
+
+    def test_extreme_intensity_spike_handled(self):
+        """A 10x spike mid-trace: the controller must keep accounting sane
+        and re-optimize, not blow up."""
+        t = np.arange(0.0, 13.0)
+        v = np.where((t >= 6) & (t < 8), 2000.0, 200.0)
+        trace = CarbonIntensityTrace(times_h=t, values=v)
+        service = CarbonAwareInferenceService.create(
+            application="classification", scheme="clover", trace=trace,
+            fidelity="smoke", seed=0, n_gpus=2,
+        )
+        report = service.run(duration_h=12.0)
+        assert report.total_carbon_g > 0
+        assert len(report.invocations) >= 3  # spike in and out both trigger
+
+
+class TestHostileParameters:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonAwareInferenceService.create(
+                application="classification", rate_per_s=-5.0,
+                fidelity="smoke",
+            )
+
+    def test_zero_gpu_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonAwareInferenceService.create(
+                application="classification", n_gpus=0, fidelity="smoke"
+            )
+
+    def test_lambda_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonAwareInferenceService.create(
+                application="classification", lambda_weight=1.5,
+                fidelity="smoke", n_gpus=2,
+            )
+
+    def test_pinned_baseline_with_absurd_sla_still_runs(self, zoo):
+        """An SLA nothing can meet: the service runs, deploys BASE-ish
+        configs, and reports honest violation fractions."""
+        fam = zoo.family("efficientnet")
+        baseline = Baseline(
+            a_base=fam.base_accuracy, e_base_j_per_request=10.0,
+            c_base_g_per_request=0.002, sla=SlaPolicy(p95_target_ms=0.01),
+            ci_base=200.0,
+        )
+        service = CarbonAwareInferenceService.create(
+            application="classification", scheme="clover", n_gpus=2,
+            baseline=baseline, fidelity="smoke", seed=0,
+        )
+        report = service.run(duration_h=4.0)
+        assert report.sla_violation_fraction == 1.0

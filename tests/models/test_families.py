@@ -1,0 +1,145 @@
+"""The Table-1 families: structure, published numbers, OOM edges."""
+
+import pytest
+
+from repro.gpu.slices import slice_by_name
+from repro.models.families import (
+    ALBERT,
+    ALL_FAMILIES,
+    APPLICATIONS,
+    EFFICIENTNET,
+    ModelFamily,
+    YOLOV5,
+    family_for_application,
+)
+from repro.models.variants import ModelVariant
+
+
+class TestTable1Contents:
+    def test_three_families(self):
+        assert len(ALL_FAMILIES) == 3
+
+    def test_yolo_variants_match_table1(self):
+        assert [v.name for v in YOLOV5.variants] == [
+            "YOLOv5l", "YOLOv5x", "YOLOv5x6",
+        ]
+
+    def test_albert_variants_match_table1(self):
+        assert [v.name for v in ALBERT.variants] == [
+            "ALBERT-v2-base", "ALBERT-v2-large",
+            "ALBERT-v2-xlarge", "ALBERT-v2-xxlarge",
+        ]
+
+    def test_efficientnet_variants_match_table1(self):
+        assert [v.name for v in EFFICIENTNET.variants] == [
+            "EfficientNet-B1", "EfficientNet-B3",
+            "EfficientNet-B5", "EfficientNet-B7",
+        ]
+
+    def test_applications_cover_paper(self):
+        assert set(APPLICATIONS) == {"detection", "language", "classification"}
+
+    def test_accuracy_increases_with_ordinal(self):
+        for fam in ALL_FAMILIES:
+            accs = [v.accuracy for v in fam.variants]
+            assert accs == sorted(accs)
+            assert accs[0] < accs[-1]
+
+    def test_params_increase_with_ordinal(self):
+        for fam in ALL_FAMILIES:
+            params = [v.params_millions for v in fam.variants]
+            assert params == sorted(params)
+
+    def test_big_models_saturate_more(self):
+        for fam in ALL_FAMILIES:
+            sats = [v.saturation for v in fam.variants]
+            assert sats == sorted(sats)
+
+    def test_oom_edges_exist(self):
+        """YOLOv5x6 and ALBERT-xxlarge must not fit a 1g slice —
+        exercising the paper's OOM edge-disabling rule."""
+        one_g = slice_by_name("1g")
+        assert not YOLOV5.by_name("YOLOv5x6").fits(one_g)
+        assert not ALBERT.by_name("ALBERT-v2-xxlarge").fits(one_g)
+
+    def test_smallest_variant_always_fits_1g(self):
+        one_g = slice_by_name("1g")
+        for fam in ALL_FAMILIES:
+            assert fam.smallest.fits(one_g)
+
+    def test_every_variant_fits_a_full_gpu(self):
+        full = slice_by_name("7g")
+        for fam in ALL_FAMILIES:
+            for v in fam.variants:
+                assert v.fits(full)
+
+
+class TestFamilyApi:
+    def test_base_accuracy_is_largest_variant(self):
+        assert EFFICIENTNET.base_accuracy == EFFICIENTNET.largest.accuracy
+
+    def test_variant_lookup_by_ordinal(self):
+        assert EFFICIENTNET.variant(2).name == "EfficientNet-B3"
+
+    def test_bad_ordinal_raises(self):
+        with pytest.raises(ValueError, match="variants 1..4"):
+            EFFICIENTNET.variant(5)
+
+    def test_by_name_case_insensitive(self):
+        assert ALBERT.by_name("albert-v2-BASE").ordinal == 1
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(KeyError, match="valid"):
+            YOLOV5.by_name("YOLOv9")
+
+    def test_iteration_yields_variants(self):
+        assert list(YOLOV5) == list(YOLOV5.variants)
+
+    def test_family_for_application(self):
+        assert family_for_application("Language") is ALBERT
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError, match="valid"):
+            family_for_application("speech")
+
+
+class TestFamilyValidation:
+    def _variant(self, ordinal, family="f", accuracy=80.0):
+        return ModelVariant(
+            ordinal=ordinal, name=f"v{ordinal}", family=family,
+            params_millions=1.0, gflops=1.0, accuracy=accuracy, memory_gb=1.0,
+            fixed_latency_ms=1.0, compute_latency_ms=1.0,
+            saturation=0.5, power_intensity=0.5,
+        )
+
+    def test_empty_family_raises(self):
+        with pytest.raises(ValueError):
+            ModelFamily(
+                name="f", application="a", dataset="d",
+                architecture="x", metric="m", variants=(),
+            )
+
+    def test_ordinals_must_be_dense(self):
+        with pytest.raises(ValueError, match="ordinals"):
+            ModelFamily(
+                name="f", application="a", dataset="d", architecture="x",
+                metric="m", variants=(self._variant(1), self._variant(3)),
+            )
+
+    def test_family_name_must_match(self):
+        with pytest.raises(ValueError, match="declare family"):
+            ModelFamily(
+                name="other", application="a", dataset="d", architecture="x",
+                metric="m", variants=(self._variant(1),),
+            )
+
+    def test_accuracy_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ModelFamily(
+                name="f", application="a", dataset="d", architecture="x",
+                metric="m",
+                variants=(
+                    self._variant(1, accuracy=90.0),
+                    self._variant(2, accuracy=80.0),
+                ),
+            )

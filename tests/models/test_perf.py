@@ -1,0 +1,109 @@
+"""The analytical latency/power model: the MIG substitution's heart."""
+
+import pytest
+
+from repro.gpu.slices import SLICE_TYPES, slice_by_name
+from repro.models.perf import OutOfMemoryError, PerfModel
+
+
+class TestLatency:
+    def test_full_gpu_latency_is_fixed_plus_compute(self, zoo, perf):
+        v = zoo.variant("efficientnet", 4)  # B7
+        lat = perf.latency_ms(v, slice_by_name("7g"))
+        assert lat == pytest.approx(v.fixed_latency_ms + v.compute_latency_ms)
+
+    def test_latency_flat_above_saturation(self, zoo, perf):
+        """A small model is equally fast on any slice at/above its
+        saturation fraction — the headroom effect the paper exploits."""
+        v = zoo.variant("efficientnet", 1)  # B1, saturation 0.12 < 1/7
+        lats = [
+            perf.latency_ms(v, s) for s in SLICE_TYPES if v.fits(s)
+        ]
+        assert max(lats) == pytest.approx(min(lats))
+
+    def test_latency_monotone_nonincreasing_in_slice_size(self, zoo, perf):
+        for fam in zoo.families:
+            for v in fam.variants:
+                lats = [
+                    perf.latency_ms(v, s) for s in SLICE_TYPES if v.fits(s)
+                ]
+                assert lats == sorted(lats, reverse=True)
+
+    def test_big_model_slows_down_severalfold_on_1g(self, zoo, perf):
+        """The paper's SLA tension: the largest EfficientNet slows >4x on a
+        1g slice."""
+        v = zoo.variant("efficientnet", 4)
+        slowdown = perf.slowdown(v, slice_by_name("1g"))
+        assert slowdown > 4.0
+
+    def test_small_model_barely_slows_on_1g(self, zoo, perf):
+        v = zoo.variant("efficientnet", 1)
+        assert perf.slowdown(v, slice_by_name("1g")) == pytest.approx(1.0)
+
+    def test_oom_placement_raises(self, zoo, perf):
+        v = zoo.variant("yolov5", 3)  # YOLOv5x6, 7.5 GB
+        with pytest.raises(OutOfMemoryError):
+            perf.latency_ms(v, slice_by_name("1g"))
+
+    def test_latency_s_consistent_with_ms(self, zoo, perf):
+        v = zoo.variant("albert", 2)
+        s = slice_by_name("3g")
+        assert perf.latency_s(v, s) == pytest.approx(
+            perf.latency_ms(v, s) / 1e3
+        )
+
+
+class TestPower:
+    def test_busy_watts_increase_with_slice_size(self, zoo, perf):
+        v = zoo.variant("efficientnet", 2)
+        w = [perf.busy_watts(v, s) for s in SLICE_TYPES]
+        assert w == sorted(w)
+
+    def test_small_model_on_big_slice_wastes_power(self, zoo, perf):
+        """The alpha term: B1 on a 7g slice draws more than on a 1g slice
+        even though it computes no faster — the Fig. 3 carbon effect."""
+        v = zoo.variant("efficientnet", 1)
+        w_full = perf.busy_watts(v, slice_by_name("7g"))
+        w_small = perf.busy_watts(v, slice_by_name("1g"))
+        assert w_full > 2.0 * w_small
+        # ... while latency is identical (saturation below 1g).
+        assert perf.latency_ms(v, slice_by_name("7g")) == pytest.approx(
+            perf.latency_ms(v, slice_by_name("1g"))
+        )
+
+    def test_oom_power_query_raises(self, zoo, perf):
+        v = zoo.variant("albert", 4)
+        with pytest.raises(OutOfMemoryError):
+            perf.busy_watts(v, slice_by_name("1g"))
+
+    def test_energy_per_request_positive(self, zoo, perf):
+        for fam in zoo.families:
+            for v in fam.variants:
+                for s in SLICE_TYPES:
+                    if v.fits(s):
+                        assert perf.energy_per_request_j(v, s) > 0
+
+    def test_dynamic_energy_per_request_on_small_slices_not_higher(
+        self, zoo, perf
+    ):
+        """Partitioning must not increase per-request dynamic energy: the
+        longer latency on a small slice is offset by the lower draw."""
+        v = zoo.variant("efficientnet", 3)  # B5 saturates 0.45
+        e_small = perf.energy_per_request_j(v, slice_by_name("1g"))
+        e_full = perf.energy_per_request_j(v, slice_by_name("7g"))
+        assert e_small <= e_full * 1.05
+
+    def test_alpha_bounds_validated(self):
+        with pytest.raises(ValueError):
+            PerfModel(alpha=1.5)
+        with pytest.raises(ValueError):
+            PerfModel(alpha=-0.1)
+
+
+class TestServiceRate:
+    def test_rate_is_reciprocal_latency(self, zoo, perf):
+        v = zoo.variant("yolov5", 1)
+        s = slice_by_name("2g")
+        assert perf.service_rate(v, s) == pytest.approx(
+            1.0 / perf.latency_s(v, s)
+        )

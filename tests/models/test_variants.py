@@ -1,0 +1,65 @@
+"""ModelVariant validation and memory-fit rules."""
+
+import pytest
+
+from repro.gpu.slices import slice_by_name
+from repro.models.variants import ModelVariant
+
+
+def make_variant(**overrides):
+    defaults = dict(
+        ordinal=1, name="test-v1", family="testfam",
+        params_millions=10.0, gflops=5.0, accuracy=80.0, memory_gb=2.0,
+        fixed_latency_ms=1.0, compute_latency_ms=5.0,
+        saturation=0.3, power_intensity=0.5,
+    )
+    defaults.update(overrides)
+    return ModelVariant(**defaults)
+
+
+class TestValidation:
+    def test_valid_variant_constructs(self):
+        v = make_variant()
+        assert v.name == "test-v1"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("ordinal", 0),
+            ("accuracy", 0.0),
+            ("accuracy", 101.0),
+            ("params_millions", -1.0),
+            ("gflops", 0.0),
+            ("memory_gb", 0.0),
+            ("compute_latency_ms", 0.0),
+            ("fixed_latency_ms", -0.1),
+            ("saturation", 0.0),
+            ("saturation", 1.5),
+            ("power_intensity", 0.0),
+            ("power_intensity", 2.0),
+        ],
+    )
+    def test_invalid_fields_raise(self, field, value):
+        with pytest.raises(ValueError):
+            make_variant(**{field: value})
+
+
+class TestMemoryFit:
+    def test_small_model_fits_everywhere(self):
+        v = make_variant(memory_gb=1.0)
+        for name in ("1g", "2g", "3g", "4g", "7g"):
+            assert v.fits(slice_by_name(name))
+
+    def test_boundary_exactly_fits(self):
+        v = make_variant(memory_gb=5.0)
+        assert v.fits(slice_by_name("1g"))
+
+    def test_oversized_model_needs_bigger_slice(self):
+        v = make_variant(memory_gb=5.1)
+        assert not v.fits(slice_by_name("1g"))
+        assert v.fits(slice_by_name("2g"))
+
+    def test_ordering_is_by_ordinal(self):
+        a = make_variant(ordinal=1)
+        b = make_variant(ordinal=2, name="test-v2")
+        assert a < b

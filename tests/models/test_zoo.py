@@ -1,0 +1,98 @@
+"""Model zoo registry and memory masks."""
+
+import numpy as np
+import pytest
+
+from repro.models.families import EFFICIENTNET, ModelFamily
+from repro.models.variants import ModelVariant
+from repro.models.zoo import ModelZoo, default_zoo
+
+
+class TestDefaultZoo:
+    def test_contains_three_families(self, zoo):
+        assert len(zoo.families) == 3
+
+    def test_lookup_by_name(self, zoo):
+        assert zoo.family("efficientnet") is EFFICIENTNET
+
+    def test_lookup_by_application(self, zoo):
+        assert zoo.for_application("Classification") is EFFICIENTNET
+
+    def test_unknown_family_raises(self, zoo):
+        with pytest.raises(KeyError, match="valid"):
+            zoo.family("resnet")
+
+    def test_unknown_application_raises(self, zoo):
+        with pytest.raises(KeyError, match="valid"):
+            zoo.for_application("speech")
+
+    def test_variant_resolution(self, zoo):
+        assert zoo.variant("albert", 4).name == "ALBERT-v2-xxlarge"
+
+
+class TestMemoryMask:
+    def test_shape(self, zoo):
+        mask = zoo.memory_mask("albert")
+        assert mask.shape == (4, 5)
+
+    def test_oom_edges_disabled(self, zoo):
+        mask = zoo.memory_mask("albert")
+        # ALBERT-xxlarge (ordinal 4) does not fit 1g (index 0).
+        assert not mask[3, 0]
+        assert mask[3, 1]
+
+    def test_full_gpu_column_all_true(self, zoo):
+        for fam in zoo.families:
+            mask = zoo.memory_mask(fam.name)
+            assert np.all(mask[:, 4])
+
+    def test_mask_is_readonly(self, zoo):
+        mask = zoo.memory_mask("yolov5")
+        with pytest.raises(ValueError):
+            mask[0, 0] = False
+
+    def test_feasible_variants_consistent_with_mask(self, zoo):
+        for fam in zoo.families:
+            mask = zoo.memory_mask(fam.name)
+            for s in range(5):
+                feas = zoo.feasible_variants(fam.name, s)
+                assert feas == tuple(
+                    v + 1 for v in range(fam.num_variants) if mask[v, s]
+                )
+
+
+class TestRegistration:
+    def _family(self, name="custom", application="custom-app"):
+        v = ModelVariant(
+            ordinal=1, name="c1", family=name,
+            params_millions=1.0, gflops=1.0, accuracy=70.0, memory_gb=1.0,
+            fixed_latency_ms=1.0, compute_latency_ms=2.0,
+            saturation=0.2, power_intensity=0.4,
+        )
+        return ModelFamily(
+            name=name, application=application, dataset="d",
+            architecture="arch", metric="acc", variants=(v,),
+        )
+
+    def test_register_custom_family(self):
+        zoo = ModelZoo()
+        zoo.register(self._family())
+        assert zoo.family("custom").application == "custom-app"
+
+    def test_duplicate_name_rejected(self):
+        zoo = ModelZoo()
+        zoo.register(self._family())
+        with pytest.raises(ValueError, match="already registered"):
+            zoo.register(self._family())
+
+    def test_duplicate_application_rejected(self):
+        zoo = ModelZoo()
+        zoo.register(self._family(name="a"))
+        with pytest.raises(ValueError, match="already served"):
+            zoo.register(self._family(name="b"))
+
+    def test_default_zoo_instances_are_independent(self):
+        z1, z2 = default_zoo(), default_zoo()
+        z1.register(self._family())
+        with pytest.raises(KeyError):
+            z2.family("custom")

@@ -1,0 +1,186 @@
+"""Discrete-event simulator: correctness against a reference implementation
+and queueing-theory sanity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.des import simulate_fifo
+from repro.serving.queueing import FifoQueue
+from repro.serving.workload import PoissonWorkload
+
+
+def reference_simulation(arrivals, service_means):
+    """Readable event-driven specification of the serving pipeline.
+
+    Explicit event calendar + the FifoQueue, dispatching the queue head to
+    whichever instance frees first (idle instances ranked by how long they
+    have been free).  Deterministic service times.
+    """
+    m = len(service_means)
+    free_time = [0.0] * m
+    busy = [False] * m
+    queue = FifoQueue()
+    start = np.zeros(len(arrivals))
+    finish = np.zeros(len(arrivals))
+    assigned = np.zeros(len(arrivals), dtype=int)
+
+    def idle_candidates(now):
+        return [i for i in range(m) if not busy[i] and free_time[i] <= now]
+
+    events = [(t, "arrival", k) for k, t in enumerate(arrivals)]
+    completions = []  # (time, instance, request)
+    k_done = 0
+    while events or completions:
+        # Next event: earliest completion or arrival (completions first on tie
+        # so a freed instance can grab a simultaneous arrival).
+        next_arr = events[0] if events else (np.inf, "", -1)
+        next_comp = min(completions) if completions else (np.inf, -1, -1)
+        if next_comp[0] <= next_arr[0]:
+            t, i, req = next_comp
+            completions.remove(next_comp)
+            busy[i] = False
+            free_time[i] = t
+            if queue:
+                nxt = queue.get()
+                start[nxt] = t
+                finish[nxt] = t + service_means[i]
+                assigned[nxt] = i
+                busy[i] = True
+                completions.append((finish[nxt], i, nxt))
+        else:
+            t, _, k = next_arr
+            events.pop(0)
+            cands = idle_candidates(t)
+            if cands:
+                i = min(cands, key=lambda j: (free_time[j], j))
+                start[k] = t
+                finish[k] = t + service_means[i]
+                assigned[k] = i
+                busy[i] = True
+                completions.append((finish[k], i, k))
+            else:
+                queue.put(k)
+            k_done += 1
+    return start, finish, assigned
+
+
+class TestAgainstReference:
+    @given(
+        seed=st.integers(0, 10_000),
+        m=st.integers(1, 5),
+        n=st.integers(1, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_event_driven_reference(self, seed, m, n):
+        rng = np.random.default_rng(seed)
+        arrivals = np.sort(rng.uniform(0, 5.0, n))
+        service = rng.uniform(0.05, 0.5, m)
+        batch = simulate_fifo(arrivals, service, jitter_cv=0.0, rng=0)
+        ref_start, ref_finish, _ = reference_simulation(arrivals, service)
+        # Start/finish times must agree exactly (assignment may differ only
+        # between instances with identical free times).
+        np.testing.assert_allclose(np.sort(batch.start_s), np.sort(ref_start))
+        np.testing.assert_allclose(np.sort(batch.finish_s), np.sort(ref_finish))
+
+
+class TestInvariants:
+    def test_all_requests_served(self):
+        wl = PoissonWorkload(50.0)
+        arr = wl.arrivals(20.0, rng=1)
+        batch = simulate_fifo(arr, np.array([0.01, 0.02]), rng=2)
+        assert len(batch) == arr.size
+
+    def test_times_ordered(self):
+        arr = PoissonWorkload(100.0).arrivals(5.0, rng=3)
+        batch = simulate_fifo(arr, np.full(4, 0.03), rng=4)
+        assert np.all(batch.start_s >= batch.arrival_s)
+        assert np.all(batch.finish_s > batch.start_s)
+
+    def test_instance_never_overlaps(self):
+        """Work conservation: one instance processes one request at a time."""
+        arr = PoissonWorkload(200.0).arrivals(3.0, rng=5)
+        batch = simulate_fifo(arr, np.array([0.01, 0.05, 0.1]), rng=6)
+        for i in range(3):
+            mask = batch.instance_index == i
+            starts = batch.start_s[mask]
+            finishes = batch.finish_s[mask]
+            order = np.argsort(starts)
+            assert np.all(starts[order][1:] >= finishes[order][:-1] - 1e-12)
+
+    def test_fifo_start_order(self):
+        """Requests begin service in arrival order (the FIFO discipline)."""
+        arr = PoissonWorkload(300.0).arrivals(2.0, rng=7)
+        batch = simulate_fifo(arr, np.array([0.02, 0.02]), rng=8)
+        assert np.all(np.diff(batch.start_s) >= -1e-12)
+
+    def test_no_artificial_idling(self):
+        """An instance must not sit idle while the queue is non-empty: each
+        request starts at its arrival or at some instance's previous finish."""
+        arr = PoissonWorkload(150.0).arrivals(3.0, rng=11)
+        batch = simulate_fifo(arr, np.array([0.05, 0.09]), jitter_cv=0.0, rng=0)
+        finish_set = set(np.round(batch.finish_s, 12))
+        for k in range(len(batch)):
+            s = batch.start_s[k]
+            assert (
+                abs(s - batch.arrival_s[k]) < 1e-12
+                or np.round(s, 12) in finish_set
+            )
+
+    def test_deterministic_with_seed(self):
+        arr = PoissonWorkload(100.0).arrivals(3.0, rng=9)
+        b1 = simulate_fifo(arr, np.array([0.01, 0.02]), rng=42)
+        b2 = simulate_fifo(arr, np.array([0.01, 0.02]), rng=42)
+        assert np.array_equal(b1.finish_s, b2.finish_s)
+
+    def test_empty_arrivals(self):
+        batch = simulate_fifo(np.array([]), np.array([0.01]), rng=0)
+        assert len(batch) == 0
+
+
+class TestQueueingBehaviour:
+    def test_single_slow_server_builds_queue(self):
+        # Deterministic arrivals faster than service: waits must grow.
+        arr = np.arange(0.0, 1.0, 0.01)  # 100 req/s
+        batch = simulate_fifo(arr, np.array([0.02]), jitter_cv=0.0, rng=0)  # 50/s
+        waits = batch.wait_s
+        assert waits[-1] > waits[10] > 0
+
+    def test_underloaded_has_no_wait(self):
+        arr = np.arange(0.0, 10.0, 0.1)  # 10 req/s
+        batch = simulate_fifo(arr, np.array([0.01]), jitter_cv=0.0, rng=0)
+        assert np.allclose(batch.wait_s, 0.0)
+
+    def test_littles_law(self):
+        """L = lambda * W within sampling tolerance at moderate load."""
+        rate, tau, m = 120.0, 0.04, 8
+        arr = PoissonWorkload(rate).arrivals_fixed_count(40_000, 13)
+        batch = simulate_fifo(arr, np.full(m, tau), rng=14)
+        w = batch.latency_s.mean()
+        makespan = batch.finish_s.max() - batch.arrival_s.min()
+        # Mean number in system via area under the occupancy curve.
+        area = batch.latency_s.sum()
+        l_measured = area / makespan
+        assert l_measured == pytest.approx(rate * w, rel=0.05)
+
+    def test_faster_instances_serve_more(self):
+        """Under saturation, request shares become throughput-proportional."""
+        arr = PoissonWorkload(500.0).arrivals_fixed_count(20_000, 15)
+        service = np.array([0.01, 0.04])  # 4x speed difference
+        batch = simulate_fifo(arr, service, jitter_cv=0.0, rng=0)
+        counts = np.bincount(batch.instance_index, minlength=2)
+        assert counts[0] / counts[1] == pytest.approx(4.0, rel=0.1)
+
+
+class TestValidation:
+    def test_unsorted_arrivals_raise(self):
+        with pytest.raises(ValueError, match="sorted"):
+            simulate_fifo(np.array([1.0, 0.5]), np.array([0.01]))
+
+    def test_empty_service_raises(self):
+        with pytest.raises(ValueError):
+            simulate_fifo(np.array([0.0]), np.array([]))
+
+    def test_nonpositive_service_raises(self):
+        with pytest.raises(ValueError):
+            simulate_fifo(np.array([0.0]), np.array([0.0]))

@@ -1,0 +1,65 @@
+"""Service instances and jitter sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.slices import slice_by_name
+from repro.serving.instance import ServiceInstance, sample_jitter
+
+
+class TestSampleJitter:
+    def test_zero_cv_is_deterministic(self):
+        assert np.all(sample_jitter(10, cv=0.0) == 1.0)
+
+    def test_mean_is_one(self):
+        j = sample_jitter(200_000, cv=0.1, rng=1)
+        assert j.mean() == pytest.approx(1.0, abs=0.005)
+
+    def test_cv_matches_request(self):
+        j = sample_jitter(200_000, cv=0.2, rng=2)
+        assert j.std() / j.mean() == pytest.approx(0.2, rel=0.05)
+
+    def test_all_positive(self):
+        assert np.all(sample_jitter(10_000, cv=0.5, rng=3) > 0)
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ValueError):
+            sample_jitter(-1)
+        with pytest.raises(ValueError):
+            sample_jitter(1, cv=-0.1)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_one_for_any_cv(self, cv):
+        j = sample_jitter(50_000, cv=cv, rng=0)
+        assert abs(j.mean() - 1.0) < 0.05
+
+
+class TestServiceInstance:
+    def test_create_resolves_performance(self, zoo, perf):
+        v = zoo.variant("efficientnet", 2)
+        s = slice_by_name("2g")
+        inst = ServiceInstance.create(0, 0, s, v, perf)
+        assert inst.mean_service_s == pytest.approx(perf.latency_s(v, s))
+        assert inst.busy_watts == pytest.approx(perf.busy_watts(v, s))
+        assert inst.accuracy == v.accuracy
+
+    def test_service_rate(self, zoo, perf):
+        v = zoo.variant("albert", 1)
+        inst = ServiceInstance.create(0, 0, slice_by_name("1g"), v, perf)
+        assert inst.service_rate == pytest.approx(1.0 / inst.mean_service_s)
+
+    def test_invalid_service_time_raises(self, zoo):
+        v = zoo.variant("albert", 1)
+        with pytest.raises(ValueError):
+            ServiceInstance(
+                instance_id=0, gpu_id=0, slice_type=slice_by_name("1g"),
+                variant=v, mean_service_s=0.0, busy_watts=10.0,
+            )
+
+    def test_str_mentions_placement(self, zoo, perf):
+        v = zoo.variant("yolov5", 1)
+        inst = ServiceInstance.create(3, 1, slice_by_name("3g"), v, perf)
+        text = str(inst)
+        assert "gpu1" in text and "3g" in text and "YOLOv5l" in text

@@ -1,0 +1,41 @@
+"""The producer/consumer FIFO queue."""
+
+import pytest
+
+from repro.serving.queueing import FifoQueue
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        q = FifoQueue()
+        for i in range(5):
+            q.put(i)
+        assert [q.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        q = FifoQueue()
+        assert not q
+        q.put("x")
+        assert q and len(q) == 1
+
+    def test_get_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoQueue().get()
+
+    def test_peek_does_not_remove(self):
+        q = FifoQueue()
+        q.put(7)
+        assert q.peek() == 7
+        assert len(q) == 1
+
+    def test_stats_track_watermark(self):
+        q = FifoQueue()
+        for i in range(4):
+            q.put(i)
+        q.get()
+        q.put(9)
+        s = q.stats
+        assert s.enqueued == 5
+        assert s.dequeued == 1
+        assert s.max_depth == 4
+        assert s.depth == 4

@@ -1,0 +1,41 @@
+"""SLA policy semantics (Eq. 5 and the Eq. 6 penalty)."""
+
+import pytest
+
+from repro.serving.sla import SlaPolicy
+
+
+class TestSlaPolicy:
+    def test_met_at_and_below_target(self):
+        sla = SlaPolicy(p95_target_ms=50.0)
+        assert sla.is_met(50.0)
+        assert sla.is_met(10.0)
+        assert not sla.is_met(50.1)
+
+    def test_violation_factor(self):
+        sla = SlaPolicy(p95_target_ms=40.0)
+        assert sla.violation_factor(80.0) == pytest.approx(2.0)
+
+    def test_sa_penalty_is_one_when_met(self):
+        sla = SlaPolicy(p95_target_ms=40.0)
+        assert sla.sa_penalty(30.0) == 1.0
+        assert sla.sa_penalty(40.0) == 1.0
+
+    def test_sa_penalty_shrinks_with_violation(self):
+        """Eq. 6: the penalty is L_tail / L, smooth in the violation size."""
+        sla = SlaPolicy(p95_target_ms=40.0)
+        assert sla.sa_penalty(80.0) == pytest.approx(0.5)
+        assert sla.sa_penalty(400.0) == pytest.approx(0.1)
+
+    def test_sa_penalty_of_infinite_latency_is_zero(self):
+        sla = SlaPolicy(p95_target_ms=40.0)
+        assert sla.sa_penalty(float("inf")) == 0.0
+
+    def test_headroom(self):
+        sla = SlaPolicy(p95_target_ms=40.0)
+        assert sla.headroom_ms(25.0) == pytest.approx(15.0)
+        assert sla.headroom_ms(50.0) == pytest.approx(-10.0)
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(ValueError):
+            SlaPolicy(p95_target_ms=0.0)

@@ -1,0 +1,76 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.command == "run"
+        assert args.fidelity == "default"
+        assert args.experiments == ["fig6"]
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig6", "--fidelity", "warp"])
+
+
+class TestListCommand:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig9" in out and "table1" in out and "savings" in out
+
+
+class TestRunCommand:
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["run", "fig6", "--fidelity", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "4.4" in out  # the worked example's objective
+
+    def test_unknown_experiment_fails_with_listing(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "valid" in err
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["run", "table1", "fig3", "--fidelity", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig3" in out
+
+
+class TestExportCommand:
+    def test_export_csv(self, tmp_path, capsys):
+        assert main(
+            ["export", "table1", "--out", str(tmp_path), "--format", "csv"]
+        ) == 0
+        text = (tmp_path / "table1.csv").read_text()
+        assert text.startswith("Application")
+
+    def test_export_json(self, tmp_path):
+        assert main(
+            ["export", "fig6", "--out", str(tmp_path), "--format", "json"]
+        ) == 0
+        records = json.loads((tmp_path / "fig6.json").read_text())
+        assert records[0]["Config"] == "A"
+
+    def test_export_unknown_experiment(self, tmp_path, capsys):
+        assert main(["export", "nope", "--out", str(tmp_path)]) == 2
+
+
+class TestDemoCommand:
+    def test_demo_runs_and_summarizes(self, capsys):
+        assert main(["demo", "--hours", "2", "--scheme", "co2opt"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=co2opt" in out
+        assert "carbon:" in out
+        assert "p95 latency:" in out

@@ -1,0 +1,58 @@
+"""Bootstrap confidence intervals for tail-latency percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import exact_percentile, percentile_ci
+
+
+class TestPercentileCi:
+    def test_interval_brackets_point_estimate(self):
+        arr = np.random.default_rng(0).exponential(10.0, 2000)
+        lo, hi = percentile_ci(arr, 95.0, rng=0)
+        point = float(np.percentile(arr, 95.0))
+        assert lo <= point <= hi
+
+    def test_interval_shrinks_with_more_samples(self):
+        rng = np.random.default_rng(1)
+        small = rng.exponential(10.0, 200)
+        big = rng.exponential(10.0, 20_000)
+        lo_s, hi_s = percentile_ci(small, 95.0, rng=0)
+        lo_b, hi_b = percentile_ci(big, 95.0, rng=0)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_higher_confidence_wider_interval(self):
+        arr = np.random.default_rng(2).exponential(10.0, 1000)
+        lo90, hi90 = percentile_ci(arr, 95.0, confidence=0.90, rng=0)
+        lo99, hi99 = percentile_ci(arr, 95.0, confidence=0.99, rng=0)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_deterministic_given_rng(self):
+        arr = np.random.default_rng(3).exponential(5.0, 500)
+        assert percentile_ci(arr, 95.0, rng=7) == percentile_ci(arr, 95.0, rng=7)
+
+    def test_degenerate_distribution(self):
+        arr = np.full(100, 42.0)
+        lo, hi = percentile_ci(arr, 95.0, rng=0)
+        assert lo == hi == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="10 samples"):
+            percentile_ci([1.0] * 5, 95.0)
+        arr = np.ones(100)
+        with pytest.raises(ValueError):
+            percentile_ci(arr, 101.0)
+        with pytest.raises(ValueError):
+            percentile_ci(arr, 95.0, confidence=1.0)
+
+    def test_sla_verdict_use_case(self):
+        """The intended use: a config near the SLA boundary is 'confidently
+        violating' only if the entire interval exceeds the target."""
+        rng = np.random.default_rng(4)
+        latencies = rng.normal(40.0, 5.0, 5000)
+        lo, hi = percentile_ci(latencies, 95.0, rng=0)
+        p95 = exact_percentile(latencies, 95.0)
+        target_tight = p95 - 0.01  # boundary target: not confidently violating
+        assert not (lo > target_tight)
+        target_loose = lo - 10.0  # far below the interval: confident violation
+        assert lo > target_loose
