@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Carbon-aware geographic routing: a 3-region fleet walkthrough.
+
+The single-cluster Clover service (see ``quickstart.py``) adapts *what* it
+serves to the local grid; a fleet also chooses *where*.  This example runs
+one global workload across three regions —
+
+* ``us-ciso``      — California: dirty on average, deep midday solar dip,
+* ``uk-eso``       — Britain: wind-dominated, swings 200 gCO2/kWh in hours,
+* ``nordic-hydro`` — Nordics: clean and flat, but further from users —
+
+and compares the static capacity-proportional split against the
+carbon-greedy router, which shifts request share toward whichever grid is
+cleanest *right now*, bounded by each region's capacity headroom and an
+SLA cap that charges the extra network latency.
+
+    python examples/multi_region_fleet.py
+    python examples/multi_region_fleet.py --router latency --duration-h 48
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import format_table
+from repro.fleet import FleetCoordinator, default_fleet_regions
+
+#: Small cluster + smoke fidelity keep the example interactive (~seconds).
+EXAMPLE_GPUS = 2
+
+
+def run_fleet(router: str, args) -> "FleetResult":
+    fleet = FleetCoordinator.create(
+        default_fleet_regions(n_gpus=args.n_gpus),
+        application=args.application,
+        scheme="clover",
+        router=router,
+        fidelity="smoke",
+        seed=args.seed,
+    )
+    return fleet.run(duration_h=args.duration_h)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--application", default="classification")
+    parser.add_argument("--router", default="carbon-greedy",
+                        help="the challenger policy (default: %(default)s)")
+    parser.add_argument("--duration-h", type=float, default=24.0)
+    parser.add_argument("--n-gpus", type=int, default=EXAMPLE_GPUS,
+                        dest="n_gpus")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    static = run_fleet("static", args)
+    challenger = run_fleet(args.router, args)
+
+    for label, report in (("static", static), (args.router, challenger)):
+        headers, rows = report.table()
+        print(format_table(headers, rows, title=f"-- router: {label} --"))
+        print()
+
+    save_pct = (
+        1.0 - challenger.total_carbon_g / static.total_carbon_g
+    ) * 100.0
+    print(f"{args.router} vs static over {challenger.duration_h:.0f} h:")
+    print(f"  carbon: {challenger.total_carbon_g:,.0f} g vs "
+          f"{static.total_carbon_g:,.0f} g ({save_pct:+.2f}% saved)")
+    print(f"  SLA attainment: {100 * challenger.sla_attainment:.1f}% vs "
+          f"{100 * static.sla_attainment:.1f}% (incl. network latency)")
+    shares = challenger.request_shares
+    print("  request shares: "
+          + ", ".join(f"{k}={100 * v:.1f}%" for k, v in shares.items()))
+    print()
+    print("The carbon-greedy router routes around each grid's dirty hours —")
+    print("share drifts to the Nordic region except when California's solar")
+    print("trough makes CISO briefly competitive.  The SLA cap (service p95")
+    print("plus network latency) is what keeps the shift from overloading")
+    print("the clean region: remove it and the carbon win costs you the SLA.")
+
+
+if __name__ == "__main__":
+    main()

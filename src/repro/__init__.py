@@ -16,24 +16,48 @@ Quickstart::
     print(f"carbon: {report.total_carbon_g:.0f} g, "
           f"accuracy loss: {report.accuracy_loss_pct:.1f}%")
 
+Multi-region::
+
+    from repro import FleetCoordinator, default_fleet_regions
+
+    fleet = FleetCoordinator.create(
+        default_fleet_regions(), router="carbon-greedy", seed=0
+    )
+    report = fleet.run(duration_h=48.0)
+    print(f"fleet carbon: {report.total_carbon_g:.0f} g, "
+          f"SLA attainment: {100 * report.sla_attainment:.1f}%")
+
 Packages: :mod:`repro.gpu` (MIG substrate), :mod:`repro.models` (Table-1
 model zoo), :mod:`repro.serving` (queueing + DES), :mod:`repro.carbon`
-(traces + accounting), :mod:`repro.core` (the Clover system), and
+(traces + accounting), :mod:`repro.core` (the Clover system),
+:mod:`repro.fleet` (multi-region coordination and routing), and
 :mod:`repro.analysis` (paper-figure experiment harness).
 """
 
 from repro.core.service import CarbonAwareInferenceService, FidelityProfile
 from repro.core.controller import RunResult
+from repro.fleet import (
+    FleetCoordinator,
+    FleetResult,
+    Region,
+    default_fleet_regions,
+    region_by_name,
+)
 from repro.models.zoo import default_zoo
 from repro.models.perf import PerfModel
 from repro.carbon.traces import evaluation_traces, trace_by_name
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CarbonAwareInferenceService",
     "FidelityProfile",
     "RunResult",
+    "FleetCoordinator",
+    "FleetResult",
+    "Region",
+    "default_fleet_regions",
+    "region_by_name",
     "default_zoo",
     "PerfModel",
     "evaluation_traces",

@@ -21,7 +21,12 @@ fig14       lambda sweep and accuracy-threshold mode
 fig15       provisioning fewer GPUs under the 10-GPU SLA
 fig16       geographic/seasonal robustness
 savings     the back-of-the-envelope daily savings estimate (Sec. 5.2.1)
+fleet       multi-region load shifting (beyond the paper: Sec. 6 futures)
 ==========  ===========================================================
+
+``fig16`` and ``fleet`` run through the :mod:`repro.fleet` coordinator —
+fig16 as N=1 single-region fleets (behavior-identical to the seed path),
+``fleet`` as a 3-region comparison of routing policies.
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ from repro.serving.workload import default_rate
 from repro.analysis.runner import (
     APPLICATIONS_UNDER_TEST,
     ExperimentRunner,
+    FleetSpec,
     RunSpec,
 )
 
@@ -72,6 +78,7 @@ __all__ = [
     "fig14_lambda_and_threshold",
     "fig15_reduced_gpus",
     "fig16_geographic",
+    "fleet_load_shifting",
     "savings_estimate",
     "EXPERIMENT_REGISTRY",
 ]
@@ -939,6 +946,14 @@ class Fig16Result:
         return headers, rows
 
 
+#: Fig. 16 trace names mapped onto the fleet region registry.
+_FIG16_REGIONS = {
+    "ciso-march": "us-ciso",
+    "ciso-september": "us-ciso-sept",
+    "eso-march": "uk-eso",
+}
+
+
 def fig16_geographic(
     runner: ExperimentRunner | None = None,
     fidelity: str = "default",
@@ -946,16 +961,44 @@ def fig16_geographic(
     applications: tuple[str, ...] = APPLICATIONS_UNDER_TEST,
     trace_names: tuple[str, ...] = ("ciso-march", "ciso-september", "eso-march"),
 ) -> Fig16Result:
-    """Fig. 16: Clover vs BASE on all three regional/seasonal traces."""
+    """Fig. 16: Clover vs BASE on all three regional/seasonal traces.
+
+    The three paper traces run through the fleet path as N=1 single-region
+    fleets with the static router — behavior-identical to the seed
+    single-cluster service (verified bit-for-bit in the fleet tests), but
+    exercising the same coordinator the multi-region experiments use; the
+    cost is that these runs are memoized per FleetSpec, not shared with
+    the Figs. 9-13 matrix.  Relative metrics (carbon saving %, accuracy
+    loss) are invariant to the registry regions' PUE, which cancels
+    between Clover and BASE.  Custom traces registered on the runner fall
+    back to the single-cluster path (they have no fleet region).
+    """
     runner = runner or ExperimentRunner()
     acc, save = {}, {}
     for tr in trace_names:
-        matrix = runner.run_matrix(
-            ("base", "clover"), applications, trace_name=tr,
-            fidelity=fidelity, seed=seed,
-        )
+        region = _FIG16_REGIONS.get(tr)
         for app in applications:
-            base, clover = matrix[(app, "base")], matrix[(app, "clover")]
+            if region is not None:
+                base, clover = (
+                    runner.run_fleet(
+                        FleetSpec(
+                            region_names=(region,),
+                            application=app,
+                            scheme=scheme,
+                            router="static",
+                            fidelity=fidelity,
+                            seed=seed,
+                            net_latency_ms=0.0,  # the paper has no network
+                        )
+                    )
+                    for scheme in ("base", "clover")
+                )
+            else:
+                matrix = runner.run_matrix(
+                    ("base", "clover"), (app,), trace_name=tr,
+                    fidelity=fidelity, seed=seed,
+                )
+                base, clover = matrix[(app, "base")], matrix[(app, "clover")]
             acc[(tr, app)] = clover.accuracy_loss_pct
             save[(tr, app)] = runner.carbon_saving_pct(clover, base)
     return Fig16Result(
@@ -963,6 +1006,105 @@ def fig16_geographic(
         trace_names=trace_names,
         accuracy_loss_pct=acc,
         carbon_save_pct=save,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Fleet — multi-region load shifting (beyond the paper)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FleetLoadShiftingResult:
+    """Routing-policy comparison on one multi-region fleet."""
+
+    application: str
+    region_names: tuple[str, ...]
+    routers: tuple[str, ...]
+    total_carbon_g: dict[str, float]
+    carbon_save_vs_static_pct: dict[str, float]
+    accuracy_loss_pct: dict[str, float]
+    sla_attainment: dict[str, float]
+    request_shares: dict[str, dict[str, float]]
+    cache_hit_rate: dict[str, float]
+
+    def table(self):
+        headers = (
+            "Router", "Carbon(g)", "SaveVsStatic%", "AccLoss%", "SLA%",
+            "CacheHit%", "Busiest region",
+        )
+        rows = []
+        for r in self.routers:
+            shares = self.request_shares[r]
+            busiest = max(shares, key=shares.get)
+            rows.append(
+                (
+                    r,
+                    f"{self.total_carbon_g[r]:,.0f}",
+                    f"{self.carbon_save_vs_static_pct[r]:.2f}",
+                    f"{self.accuracy_loss_pct[r]:.2f}",
+                    f"{100 * self.sla_attainment[r]:.1f}",
+                    f"{100 * self.cache_hit_rate[r]:.1f}",
+                    f"{busiest} ({100 * shares[busiest]:.1f}%)",
+                )
+            )
+        return headers, rows
+
+
+def fleet_load_shifting(
+    runner: ExperimentRunner | None = None,
+    fidelity: str = "default",
+    seed: int = 0,
+    application: str = "classification",
+    region_names: tuple[str, ...] = ("us-ciso", "uk-eso", "nordic-hydro"),
+    routers: tuple[str, ...] = ("static", "latency", "carbon-greedy"),
+    scheme: str = "clover",
+    n_gpus: int = PAPER_N_GPUS,
+    duration_h: float | None = None,
+) -> FleetLoadShiftingResult:
+    """Route one global workload across three grids, one row per policy.
+
+    The headline: carbon-greedy routing beats the static split on total
+    carbon (it shifts share toward the currently-cleanest grid) without
+    giving up global SLA attainment, because its shift is bounded by each
+    region's capacity and network-latency-aware SLA cap.
+    """
+    runner = runner or ExperimentRunner()
+    if "static" not in routers:
+        raise ValueError("the router set must include 'static' (the baseline)")
+    results = {
+        r: runner.run_fleet(
+            FleetSpec(
+                region_names=region_names,
+                application=application,
+                scheme=scheme,
+                router=r,
+                fidelity=fidelity,
+                seed=seed,
+                n_gpus=n_gpus,
+                duration_h=duration_h,
+            )
+        )
+        for r in routers
+    }
+    static_carbon = results["static"].total_carbon_g
+    return FleetLoadShiftingResult(
+        application=application,
+        region_names=region_names,
+        routers=routers,
+        total_carbon_g={r: res.total_carbon_g for r, res in results.items()},
+        carbon_save_vs_static_pct={
+            r: (1.0 - res.total_carbon_g / static_carbon) * 100.0
+            for r, res in results.items()
+        },
+        accuracy_loss_pct={
+            r: res.accuracy_loss_pct for r, res in results.items()
+        },
+        sla_attainment={r: res.sla_attainment for r, res in results.items()},
+        request_shares={r: res.request_shares for r, res in results.items()},
+        cache_hit_rate={
+            r: res.cache_stats.hit_rate for r, res in results.items()
+        },
     )
 
 
@@ -1047,5 +1189,6 @@ EXPERIMENT_REGISTRY = {
     "fig14": fig14_lambda_and_threshold,
     "fig15": fig15_reduced_gpus,
     "fig16": fig16_geographic,
+    "fleet": fleet_load_shifting,
     "savings": savings_estimate,
 }

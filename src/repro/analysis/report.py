@@ -34,6 +34,7 @@ _DESCRIPTIONS = {
     "fig14": "Fig. 14 — lambda sweep and accuracy floors",
     "fig15": "Fig. 15 — provisioning fewer GPUs",
     "fig16": "Fig. 16 — geographic/seasonal robustness",
+    "fleet": "Beyond the paper — multi-region carbon-aware load shifting",
     "savings": "Sec. 5.2.1 — physical-significance estimate",
 }
 

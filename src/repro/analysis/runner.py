@@ -1,9 +1,10 @@
 """Experiment runner: execute scheme x application x trace combinations.
 
 One thin layer over :class:`~repro.core.service.CarbonAwareInferenceService`
-that (a) applies the paper's evaluation methodology uniformly and (b)
-memoizes completed runs within the process, because several figures reuse
-the same underlying runs (Figs. 9-13 all read the CISO-March matrix).
+(and, for geographic experiments, the :mod:`repro.fleet` coordinator) that
+(a) applies the paper's evaluation methodology uniformly and (b) memoizes
+completed runs within the process, because several figures reuse the same
+underlying runs (Figs. 9-13 all read the CISO-March matrix).
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from repro.core.service import (
     PAPER_N_GPUS,
 )
 
-__all__ = ["RunSpec", "ExperimentRunner", "APPLICATIONS_UNDER_TEST"]
+__all__ = ["RunSpec", "FleetSpec", "ExperimentRunner", "APPLICATIONS_UNDER_TEST"]
 
 #: The paper's three evaluation applications, in Table-1 order.
 APPLICATIONS_UNDER_TEST = ("detection", "language", "classification")
@@ -42,11 +43,34 @@ class RunSpec:
     rate_per_s: float | None = None
 
 
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything that identifies one multi-region fleet run.
+
+    ``net_latency_ms`` overrides every region's registry network latency;
+    the paper-faithful experiments (Fig. 16) pin it to 0.0 because the
+    paper has no network model, while the fleet experiments keep the
+    registry values (``None``).
+    """
+
+    region_names: tuple[str, ...]
+    application: str = "classification"
+    scheme: str = "clover"
+    router: str = "static"
+    fidelity: str = "default"
+    seed: int = 0
+    n_gpus: int = PAPER_N_GPUS
+    lambda_weight: float = PAPER_LAMBDA
+    duration_h: float | None = None
+    net_latency_ms: float | None = None
+
+
 @dataclass
 class ExperimentRunner:
     """Runs and memoizes service executions for the experiment harness."""
 
     _cache: dict[RunSpec, RunResult] = field(default_factory=dict)
+    _fleet_cache: dict[FleetSpec, object] = field(default_factory=dict)
     _traces: dict[str, CarbonIntensityTrace] = field(default_factory=dict)
 
     def register_trace(self, name: str, trace: CarbonIntensityTrace) -> None:
@@ -77,6 +101,41 @@ class ExperimentRunner:
         )
         result = service.run(duration_h=spec.duration_h)
         self._cache[spec] = result
+        return result
+
+    def run_fleet(self, spec: FleetSpec):
+        """Execute (or recall) the fleet run described by ``spec``.
+
+        Region names resolve through the fleet registry
+        (:func:`repro.fleet.region_by_name`); the import is local so the
+        single-cluster harness stays importable without the fleet package.
+        """
+        hit = self._fleet_cache.get(spec)
+        if hit is not None:
+            return hit
+        from dataclasses import replace
+
+        from repro.fleet import FleetCoordinator, region_by_name
+
+        regions = tuple(
+            region_by_name(name, n_gpus=spec.n_gpus)
+            for name in spec.region_names
+        )
+        if spec.net_latency_ms is not None:
+            regions = tuple(
+                replace(r, net_latency_ms=spec.net_latency_ms) for r in regions
+            )
+        fleet = FleetCoordinator.create(
+            regions,
+            application=spec.application,
+            scheme=spec.scheme,
+            router=spec.router,
+            lambda_weight=spec.lambda_weight,
+            fidelity=FidelityProfile.by_name(spec.fidelity),
+            seed=spec.seed,
+        )
+        result = fleet.run(duration_h=spec.duration_h)
+        self._fleet_cache[spec] = result
         return result
 
     def run_matrix(

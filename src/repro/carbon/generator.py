@@ -33,6 +33,7 @@ __all__ = [
     "CISO_SEPTEMBER",
     "ESO_MARCH",
     "ESO_SEPTEMBER",
+    "NORDIC_HYDRO",
 ]
 
 
@@ -146,6 +147,21 @@ ESO_MARCH = GridProfile(
     evening_peak=45.0,
     noise_std=55.0,
     noise_corr=0.9,
+)
+
+#: Hydro-dominated Nordic grid: low, flat intensity with mild demand bumps.
+#: Calibrated to the NO/SE zones' published ranges (20-60 gCO2/kWh); the
+#: fleet experiments use it as the "clean but far away" routing target.
+NORDIC_HYDRO = GridProfile(
+    name="Nordic Hydro",
+    base=42.0,
+    solar_depth=6.0,
+    solar_center_h=12.0,
+    solar_width_h=3.0,
+    morning_peak=5.0,
+    evening_peak=8.0,
+    noise_std=4.0,
+    noise_corr=0.8,
 )
 
 #: UK ESO, September: somewhat stronger solar, still wind-dominated.

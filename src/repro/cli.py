@@ -12,6 +12,9 @@ Subcommands
     Run every experiment and write one Markdown reproduction report.
 ``demo``
     A short end-to-end Clover run with a summary report.
+``fleet``
+    Route one global workload across multiple regions and print the
+    aggregated fleet report (per-region and global carbon/accuracy/SLA).
 """
 
 from __future__ import annotations
@@ -81,6 +84,40 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--scheme", default="clover")
     demo.add_argument("--hours", type=float, default=12.0)
     demo.add_argument("--seed", type=int, default=0)
+
+    from repro.fleet.regions import REGION_NAMES
+    from repro.fleet.routing import ROUTER_NAMES
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-region run with carbon-aware routing"
+    )
+    fleet.add_argument(
+        "--regions",
+        default="us-ciso,uk-eso,nordic-hydro",
+        help=(
+            "comma-separated region names "
+            f"(valid: {', '.join(REGION_NAMES)}; default: %(default)s)"
+        ),
+    )
+    fleet.add_argument(
+        "--router",
+        default="carbon-greedy",
+        choices=ROUTER_NAMES,
+        help="traffic-splitting policy (default: %(default)s)",
+    )
+    fleet.add_argument(
+        "--duration-h",
+        type=float,
+        default=24.0,
+        help="simulated hours (default: %(default)s)",
+    )
+    fleet.add_argument("--application", default="classification")
+    fleet.add_argument("--scheme", default="clover")
+    fleet.add_argument("--n-gpus", type=int, default=4, dest="n_gpus")
+    fleet.add_argument(
+        "--fidelity", default="smoke", choices=("smoke", "default", "paper")
+    )
+    fleet.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -148,6 +185,61 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.fleet import FleetCoordinator, region_by_name
+
+    names = [n.strip() for n in args.regions.split(",") if n.strip()]
+    if not names:
+        print("no regions given", file=sys.stderr)
+        return 2
+    try:
+        regions = tuple(region_by_name(n, n_gpus=args.n_gpus) for n in names)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        fleet = FleetCoordinator.create(
+            regions,
+            application=args.application,
+            scheme=args.scheme,
+            router=args.router,
+            fidelity=args.fidelity,
+            seed=args.seed,
+        )
+        t0 = time.perf_counter()
+        report = fleet.run(duration_h=args.duration_h)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    dt = time.perf_counter() - t0
+    headers, rows = report.table()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"== fleet: {len(regions)} regions, router={report.router_name}, "
+                f"scheme={report.scheme_name} ({args.fidelity}, {dt:.1f}s) =="
+            ),
+        )
+    )
+    print()
+    print(f"  duration:        {report.duration_h:.1f} h")
+    print(f"  global rate:     {report.global_rate_per_s:.1f} req/s")
+    print(f"  requests served: {report.total_requests:,.0f}")
+    print(f"  energy:          {report.total_energy_j / 3.6e6:.2f} kWh")
+    print(f"  carbon:          {report.total_carbon_g:,.0f} gCO2")
+    print(f"  accuracy loss:   {report.accuracy_loss_pct:.2f}%")
+    print(f"  SLA attainment:  {100 * report.sla_attainment:.1f}% (incl. network)")
+    cache = report.cache_stats
+    print(
+        f"  evaluator cache: {cache.hits:,} hits / {cache.misses:,} misses "
+        f"({100 * cache.hit_rate:.1f}% hit rate)"
+    )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.service import CarbonAwareInferenceService
 
@@ -185,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

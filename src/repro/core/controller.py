@@ -17,6 +17,14 @@ The per-epoch records carry everything the paper's figures need: the Eq. 3
 objective timeline (Fig. 11), optimization-time fractions (Fig. 12a),
 candidate SLA outcomes (Fig. 12b), and per-invocation candidate
 trajectories (Fig. 13).
+
+The loop is exposed at two granularities: :meth:`ServiceController.run`
+drives a whole trace (the single-cluster paper setup), while
+:meth:`~ServiceController.begin_run` / :meth:`~ServiceController.step` /
+:meth:`~ServiceController.finalize` let an external driver — the fleet
+coordinator — advance one epoch at a time with a per-epoch arrival rate
+(geographically routed load).  ``run`` is implemented on top of the
+step-wise API, so both paths execute identical arithmetic.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import numpy as np
 
 from repro.carbon.accounting import DEFAULT_PUE, carbon_grams
 from repro.carbon.monitor import CarbonIntensityMonitor
-from repro.core.evaluator import ConfigEvaluator
+from repro.core.evaluator import CacheStats, ConfigEvaluator
 from repro.core.objective import ObjectiveSpec
 from repro.core.schemes import Scheme
 from repro.utils.stats import weighted_mean
@@ -102,6 +110,8 @@ class EpochRecord:
     optimized: bool
     optimization_s: float
     num_evaluations: int
+    #: Arrival rate served this epoch (0.0 in records predating routing).
+    rate_per_s: float = 0.0
 
 
 @dataclass
@@ -120,6 +130,10 @@ class RunResult:
     trace_name: str
     epochs: list[EpochRecord] = field(default_factory=list)
     invocations: list[InvocationRecord] = field(default_factory=list)
+    #: Cache counters of the DES measurement evaluator (set by finalize).
+    measure_cache: CacheStats | None = None
+    #: Cache counters of the scheme's optimization evaluator (set by finalize).
+    opt_cache: CacheStats | None = None
 
     # ------------------------------------------------------------------ #
     # totals
@@ -268,13 +282,23 @@ class ServiceController:
         self.application = application
         self.step_s = step_s
         self.pue = pue
+        self._deployed = None
 
-    def run(self, duration_h: float) -> RunResult:
-        """Execute the control loop for ``duration_h`` hours of the trace."""
+    @property
+    def deployed(self):
+        """The currently deployed configuration (``None`` before warm-up)."""
+        return self._deployed
+
+    def n_epochs(self, duration_h: float) -> int:
+        """How many control epochs a run of ``duration_h`` hours spans."""
         if duration_h <= 0:
             raise ValueError(f"duration must be positive, got {duration_h}")
-        n_epochs = max(1, int(round(duration_h * 3600.0 / self.step_s)))
-        result = RunResult(
+        return max(1, int(round(duration_h * 3600.0 / self.step_s)))
+
+    def begin_run(self) -> RunResult:
+        """Start a fresh run: empty result, no deployed configuration."""
+        self._deployed = None
+        return RunResult(
             scheme_name=self.scheme.name,
             family=self.scheme.family,
             application=self.application,
@@ -287,35 +311,60 @@ class ServiceController:
             trace_name=self.monitor.trace.name,
         )
 
-        deployed = None
+    def step(
+        self,
+        result: RunResult,
+        index: int,
+        t_h: float,
+        rate_per_s: float | None = None,
+    ) -> EpochRecord:
+        """Advance one control epoch at trace time ``t_h``.
+
+        ``rate_per_s`` overrides the construction-time arrival rate for this
+        epoch only (a fleet router's per-epoch traffic assignment); ``None``
+        serves the nominal rate, which is exactly the single-cluster loop.
+        """
+        ci = self.monitor.observe(t_h)
+
+        optimized = False
+        opt_s = 0.0
+        evaluated = ()
+        if self._deployed is None or (
+            self.scheme.reoptimizes and self.monitor.should_trigger(t_h)
+        ):
+            outcome = self.scheme.optimize(ci, self._deployed)
+            self.monitor.mark_optimized(t_h)
+            self._deployed = outcome.deployed
+            optimized = True
+            opt_s = outcome.virtual_cost_s
+            evaluated = outcome.evaluated
+            result.invocations.append(
+                self._invocation_record(len(result.invocations), t_h, ci, outcome)
+            )
+
+        record = self._account_epoch(
+            index, t_h, ci, self._deployed, optimized, opt_s, evaluated,
+            rate_per_s,
+        )
+        result.epochs.append(record)
+        return record
+
+    def finalize(self, result: RunResult) -> RunResult:
+        """Attach end-of-run bookkeeping (evaluator cache counters)."""
+        result.measure_cache = self.measure_evaluator.cache_stats
+        opt_evaluator = getattr(self.scheme, "evaluator", None)
+        if opt_evaluator is not None:
+            result.opt_cache = opt_evaluator.cache_stats
+        return result
+
+    def run(self, duration_h: float) -> RunResult:
+        """Execute the control loop for ``duration_h`` hours of the trace."""
+        n_epochs = self.n_epochs(duration_h)
+        result = self.begin_run()
         for i in range(n_epochs):
             t_h = i * self.step_s / 3600.0
-            ci = self.monitor.observe(t_h)
-
-            optimized = False
-            opt_s = 0.0
-            evaluated = ()
-            if deployed is None or (
-                self.scheme.reoptimizes and self.monitor.should_trigger(t_h)
-            ):
-                outcome = self.scheme.optimize(ci, deployed)
-                self.monitor.mark_optimized(t_h)
-                deployed = outcome.deployed
-                optimized = True
-                opt_s = outcome.virtual_cost_s
-                evaluated = outcome.evaluated
-                result.invocations.append(
-                    self._invocation_record(
-                        len(result.invocations), t_h, ci, outcome
-                    )
-                )
-
-            result.epochs.append(
-                self._account_epoch(
-                    i, t_h, ci, deployed, optimized, opt_s, evaluated
-                )
-            )
-        return result
+            self.step(result, i, t_h)
+        return self.finalize(result)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -345,8 +394,10 @@ class ServiceController:
         )
 
     def _account_epoch(
-        self, index, t_h, ci, deployed, optimized, opt_s, evaluated
+        self, index, t_h, ci, deployed, optimized, opt_s, evaluated,
+        rate_per_s=None,
     ) -> EpochRecord:
+        rate = self.rate_per_s if rate_per_s is None else rate_per_s
         explore_s = min(opt_s, _MAX_EXPLORE_FRACTION * self.step_s)
         stable_s = self.step_s - explore_s
 
@@ -360,14 +411,15 @@ class ServiceController:
             scale = explore_s / total_cost if total_cost > 0 else 0.0
             for cand in evaluated:
                 dt = cand.virtual_cost_s * scale
-                r = self.rate_per_s * dt
+                r = rate * dt
                 energy_j += cand.evaluation.power_watts * dt
                 acc_weighted += cand.evaluation.accuracy * r
                 requests += r
 
-        # Stable window: the deployed configuration, DES-measured.
-        stable_eval = self.measure_evaluator.evaluate(deployed)
-        r = self.rate_per_s * stable_s
+        # Stable window: the deployed configuration, DES-measured at the
+        # epoch's (possibly routed) arrival rate.
+        stable_eval = self.measure_evaluator.evaluate(deployed, rate_per_s=rate)
+        r = rate * stable_s
         energy_j += stable_eval.power_watts * stable_s
         acc_weighted += stable_eval.accuracy * r
         requests += r
@@ -398,4 +450,5 @@ class ServiceController:
             optimized=optimized,
             optimization_s=explore_s,
             num_evaluations=len(evaluated),
+            rate_per_s=rate,
         )

@@ -12,10 +12,17 @@ quantities Clover's objective consumes:
   (optimizer inner loop) or the discrete-event simulator (measurement).
 
 Evaluations depend only on the configuration *graph* (the multiset of
-variant-on-slice-type placements plus the GPU count) — physical placement is
-irrelevant under MIG isolation, exactly the paper's compaction argument — so
-results are cached by graph key.  The cache is what makes ORACLE's
-exhaustive profiling and repeated SA invocations affordable.
+variant-on-slice-type placements plus the GPU count) and the arrival rate —
+physical placement is irrelevant under MIG isolation, exactly the paper's
+compaction argument — so results are cached by ``(graph key, rate)``.  The
+cache is what makes ORACLE's exhaustive profiling and repeated SA
+invocations affordable, and the hit/miss counters (:attr:`cache_stats`)
+quantify how much work it saves.
+
+The arrival rate is fixed at construction, but every evaluation accepts a
+``rate_per_s`` override so a fleet router can probe a deployed
+configuration at candidate rates (SLA-feasibility bisection) without
+rebuilding the evaluator or losing the shared cache.
 """
 
 from __future__ import annotations
@@ -35,7 +42,26 @@ from repro.serving.metrics import summarize
 from repro.serving.workload import PoissonWorkload
 from repro.utils.rng import RngMixer
 
-__all__ = ["Evaluation", "ConfigEvaluator"]
+__all__ = ["Evaluation", "CacheStats", "ConfigEvaluator"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one evaluator's configuration cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def evaluations(self) -> int:
+        """Total evaluation requests answered (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0 when never queried)."""
+        return self.hits / self.evaluations if self.evaluations else 0.0
 
 
 @dataclass(frozen=True)
@@ -96,7 +122,11 @@ class ConfigEvaluator:
     des_requests: int = 4000
     jitter_cv: float = DEFAULT_JITTER_CV
     seed: int = 0
-    _cache: dict[bytes, Evaluation] = field(default_factory=dict, repr=False)
+    _cache: dict[tuple[bytes, float], Evaluation] = field(
+        default_factory=dict, repr=False
+    )
+    _hits: int = field(default=0, init=False, repr=False)
+    _misses: int = field(default=0, init=False, repr=False)
     _num_variants: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -118,8 +148,15 @@ class ConfigEvaluator:
     # public API
     # ------------------------------------------------------------------ #
 
-    def evaluate(self, config: ClusterConfig) -> Evaluation:
-        """Evaluate a configuration (cached by its configuration graph)."""
+    def evaluate(
+        self, config: ClusterConfig, rate_per_s: float | None = None
+    ) -> Evaluation:
+        """Evaluate a configuration (cached by configuration graph and rate).
+
+        ``rate_per_s`` overrides the construction-time arrival rate for this
+        evaluation only (used by fleet routing to probe a deployed
+        configuration at candidate rates).
+        """
         if config.family != self.family:
             raise ValueError(
                 f"evaluator serves {self.family!r}, got a {config.family!r} config"
@@ -129,35 +166,56 @@ class ConfigEvaluator:
                 f"evaluator sized for {self.n_gpus} GPUs, got {config.n_gpus}"
             )
         graph = ConfigGraph.from_config(config, self._num_variants)
-        key = graph.key()
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
-        result = self._evaluate_graph(graph)
-        self._cache[key] = result
-        return result
+        return self._cached_evaluate(graph, self._resolve_rate(rate_per_s))
 
-    def evaluate_graph(self, graph: ConfigGraph) -> Evaluation:
+    def evaluate_graph(
+        self, graph: ConfigGraph, rate_per_s: float | None = None
+    ) -> Evaluation:
         """Evaluate directly from a configuration graph (cached)."""
         if graph.family != self.family:
             raise ValueError(
                 f"evaluator serves {self.family!r}, got a {graph.family!r} graph"
             )
-        key = graph.key()
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
-        result = self._evaluate_graph(graph)
-        self._cache[key] = result
-        return result
+        return self._cached_evaluate(graph, self._resolve_rate(rate_per_s))
 
     @property
     def cache_size(self) -> int:
         return len(self._cache)
 
+    @property
+    def cache_hits(self) -> int:
+        return self._hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._misses
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Counters snapshot: how much evaluation work the cache saved."""
+        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._cache))
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+
+    def _resolve_rate(self, rate_per_s: float | None) -> float:
+        if rate_per_s is None:
+            return self.rate_per_s
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_s}")
+        return rate_per_s
+
+    def _cached_evaluate(self, graph: ConfigGraph, rate: float) -> Evaluation:
+        key = (graph.key(), rate)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._hits += 1
+            return hit
+        self._misses += 1
+        result = self._evaluate_graph(graph, rate)
+        self._cache[key] = result
+        return result
 
     def _instance_arrays(
         self, graph: ConfigGraph
@@ -182,13 +240,13 @@ class ConfigEvaluator:
             np.asarray(acc, dtype=np.float64),
         )
 
-    def _evaluate_graph(self, graph: ConfigGraph) -> Evaluation:
+    def _evaluate_graph(self, graph: ConfigGraph, rate: float) -> Evaluation:
         service, watts, acc = self._instance_arrays(graph)
         static_watts = self.perf.power.static_watts_per_gpu() * self.n_gpus
 
         if self.method == "analytic":
-            return self._evaluate_analytic(service, watts, acc, static_watts)
-        return self._evaluate_des(graph, service, watts, acc, static_watts)
+            return self._evaluate_analytic(service, watts, acc, static_watts, rate)
+        return self._evaluate_des(graph, service, watts, acc, static_watts, rate)
 
     def _evaluate_analytic(
         self,
@@ -196,8 +254,9 @@ class ConfigEvaluator:
         watts: np.ndarray,
         acc: np.ndarray,
         static_watts: float,
+        rate: float,
     ) -> Evaluation:
-        est = estimate_fifo(service, self.rate_per_s, self.jitter_cv)
+        est = estimate_fifo(service, rate, self.jitter_cv)
         if est.overloaded:
             # Saturated: every instance busy; throughput capped at capacity.
             capacity = float((1.0 / service).sum())
@@ -213,12 +272,12 @@ class ConfigEvaluator:
                 overloaded=True,
                 num_instances=int(service.size),
             )
-        per_instance_rate = self.rate_per_s * est.shares
+        per_instance_rate = rate * est.shares
         inst_util = np.clip(per_instance_rate * service, 0.0, 1.0)
         power = static_watts + float(np.dot(inst_util, watts))
         return Evaluation(
             accuracy=float(np.dot(est.shares, acc)),
-            energy_per_request_j=power / self.rate_per_s,
+            energy_per_request_j=power / rate,
             p95_ms=est.p95_ms(),
             power_watts=power,
             utilization=est.utilization,
@@ -233,16 +292,19 @@ class ConfigEvaluator:
         watts: np.ndarray,
         acc: np.ndarray,
         static_watts: float,
+        rate: float,
     ) -> Evaluation:
         # Deterministic per-graph substream: the same configuration always
         # sees the same arrivals, so cache hits and misses agree exactly
-        # (stable_hash keeps this reproducible across processes).
+        # (stable_hash keeps this reproducible across processes).  The rate
+        # scales the exponential gaps but not the underlying stream, so a
+        # rate override preserves the paper's common-random-numbers setup.
         from repro.utils.rng import stable_hash
 
         mixer = RngMixer(seed=self.seed)
         rng = mixer.fork("des-eval", stable_hash(graph.key()))
 
-        workload = PoissonWorkload(self.rate_per_s)
+        workload = PoissonWorkload(rate)
         arrivals = workload.arrivals_fixed_count(self.des_requests, rng)
         batch = simulate_fifo(arrivals, service, self.jitter_cv, rng)
         metrics = summarize(batch, n_instances=service.size)
@@ -250,10 +312,10 @@ class ConfigEvaluator:
         # Overload diagnosis: the queue grows without bound iff capacity is
         # below the arrival rate; finite simulations always "finish".
         capacity = float((1.0 / service).sum())
-        overloaded = self.rate_per_s >= capacity
+        overloaded = rate >= capacity
 
         power = static_watts + float(np.dot(metrics.utilization, watts))
-        throughput = min(metrics.throughput_rps, self.rate_per_s)
+        throughput = min(metrics.throughput_rps, rate)
         return Evaluation(
             accuracy=float(np.dot(metrics.shares, acc)),
             energy_per_request_j=power / throughput,

@@ -13,6 +13,11 @@ behind one call:
 The paper's methodology defaults are baked in: 10 GPUs, Poisson workload
 sized to 65% of BASE capacity, the SLA fixed to BASE's measured p95,
 ``lambda = 0.5``, PUE 1.5, and the US CISO March trace.
+
+This facade is single-cluster by design; :mod:`repro.fleet` composes many
+of these services into a multi-region fleet by (a) passing a per-region
+``trace``/``pue``/``baseline`` here and (b) driving the controller through
+its step-wise API with per-epoch routed rates instead of :meth:`run`.
 """
 
 from __future__ import annotations

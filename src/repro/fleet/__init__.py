@@ -1,0 +1,67 @@
+"""repro.fleet — multi-region carbon-aware serving on top of the core loop.
+
+The seed reproduction runs one cluster against one grid trace.  This
+package makes *regions* first-class: a :class:`~repro.fleet.regions.Region`
+pairs a grid profile/trace with datacenter PUE, user-facing network latency
+and a GPU count; a :class:`~repro.fleet.regional.RegionalService` runs the
+unmodified seed control loop for one region; a
+:class:`~repro.fleet.coordinator.FleetCoordinator` splits one global
+Poisson workload across N regions each epoch through a pluggable
+:class:`~repro.fleet.routing.Router` (static, latency-aware, or
+carbon-greedy with capacity and SLA caps) and aggregates the per-region
+results into a :class:`~repro.fleet.coordinator.FleetResult`.
+
+Quickstart::
+
+    from repro.fleet import FleetCoordinator, default_fleet_regions
+
+    fleet = FleetCoordinator.create(
+        default_fleet_regions(n_gpus=4), router="carbon-greedy",
+        fidelity="smoke", seed=0,
+    )
+    report = fleet.run(duration_h=24.0)
+    print(report.total_carbon_g, report.sla_attainment)
+"""
+
+from repro.fleet.coordinator import (
+    DEFAULT_FLOOR_SHARE,
+    FleetCoordinator,
+    FleetResult,
+)
+from repro.fleet.regional import DEFAULT_MAX_UTILIZATION, RegionalService
+from repro.fleet.regions import (
+    REGION_NAMES,
+    Region,
+    default_fleet_regions,
+    make_region,
+    region_by_name,
+)
+from repro.fleet.routing import (
+    ROUTER_NAMES,
+    CarbonGreedyRouter,
+    LatencyAwareRouter,
+    Router,
+    RoutingContext,
+    StaticRouter,
+    make_router,
+)
+
+__all__ = [
+    "Region",
+    "REGION_NAMES",
+    "region_by_name",
+    "default_fleet_regions",
+    "make_region",
+    "RegionalService",
+    "DEFAULT_MAX_UTILIZATION",
+    "Router",
+    "RoutingContext",
+    "StaticRouter",
+    "LatencyAwareRouter",
+    "CarbonGreedyRouter",
+    "ROUTER_NAMES",
+    "make_router",
+    "FleetCoordinator",
+    "FleetResult",
+    "DEFAULT_FLOOR_SHARE",
+]

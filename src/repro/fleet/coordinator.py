@@ -1,0 +1,301 @@
+"""FleetCoordinator: N regional control loops under one routed workload.
+
+The coordinator owns the global Poisson workload (the sum of the regions'
+nominal sizings) and advances all regions in lock-step epochs.  Each epoch
+it reads every region's grid intensity, builds a :class:`RoutingContext`
+(capacity caps, SLA caps, un-shiftable floors) and lets the
+:class:`~repro.fleet.routing.Router` split the global rate; each region
+then runs exactly the seed controller epoch at its assigned rate —
+monitor, re-optimize on the 5% trigger, serve, account.
+
+With one region and the static router the coordinator is a transparent
+wrapper: the single region receives precisely its nominal rate every epoch
+and the resulting :class:`~repro.core.controller.RunResult` is bit-for-bit
+the seed :meth:`CarbonAwareInferenceService.run` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controller import RunResult
+from repro.core.evaluator import CacheStats
+from repro.core.service import FidelityProfile, PAPER_LAMBDA
+from repro.fleet.regional import DEFAULT_MAX_UTILIZATION, RegionalService
+from repro.fleet.regions import Region
+from repro.fleet.routing import Router, RoutingContext, make_router
+from repro.models.perf import PerfModel
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.serving.workload import DEFAULT_BASE_UTILIZATION
+
+__all__ = ["FleetCoordinator", "FleetResult", "DEFAULT_FLOOR_SHARE"]
+
+#: Share of a region's nominal rate that can never be shifted away —
+#: geo-resident traffic (data-residency, session affinity).
+DEFAULT_FLOOR_SHARE = 0.05
+
+
+@dataclass
+class FleetResult:
+    """Aggregated outcome of one fleet run: global totals + per-region runs."""
+
+    router_name: str
+    scheme_name: str
+    application: str
+    global_rate_per_s: float
+    regions: tuple[Region, ...]
+    results: tuple[RunResult, ...]
+
+    # ------------------------------------------------------------------ #
+    # global totals
+    # ------------------------------------------------------------------ #
+
+    @property
+    def duration_h(self) -> float:
+        return self.results[0].duration_h
+
+    @property
+    def total_requests(self) -> float:
+        return sum(r.total_requests for r in self.results)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(r.total_energy_j for r in self.results)
+
+    @property
+    def total_carbon_g(self) -> float:
+        return sum(r.total_carbon_g for r in self.results)
+
+    @property
+    def carbon_g_per_request(self) -> float:
+        return self.total_carbon_g / self.total_requests
+
+    @property
+    def a_base(self) -> float:
+        return self.results[0].a_base
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Request-weighted accuracy across every region's epochs."""
+        weighted = sum(r.mean_accuracy * r.total_requests for r in self.results)
+        return weighted / self.total_requests
+
+    @property
+    def accuracy_loss_pct(self) -> float:
+        return (self.a_base - self.mean_accuracy) / self.a_base * 100.0
+
+    @property
+    def sla_attainment(self) -> float:
+        """Fraction of requests served within the SLA *including* network.
+
+        Each region's SLA target is already tightened by its network
+        latency at assembly time, so the service-side check against
+        ``sla_target_ms`` is exactly the user-observed end-to-end check a
+        geographic router must protect.
+        """
+        met = 0.0
+        for result in self.results:
+            for e in result.epochs:
+                if np.isfinite(e.p95_ms) and e.p95_ms <= result.sla_target_ms:
+                    met += e.requests
+        total = self.total_requests
+        return met / total if total > 0 else 0.0
+
+    @property
+    def request_shares(self) -> dict[str, float]:
+        """Fraction of all served requests each region carried."""
+        total = self.total_requests
+        return {
+            region.name: result.total_requests / total
+            for region, result in zip(self.regions, self.results)
+        }
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Pooled evaluator cache counters across regions and evaluators."""
+        hits = misses = size = 0
+        for r in self.results:
+            for stats in (r.measure_cache, r.opt_cache):
+                if stats is not None:
+                    hits += stats.hits
+                    misses += stats.misses
+                    size += stats.size
+        return CacheStats(hits=hits, misses=misses, size=size)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    def table(self):
+        headers = (
+            "Region", "Share%", "Mean ci", "Carbon(g)", "AccLoss%",
+            "p95+net(ms)", "SLA%",
+        )
+        rows = []
+        for region, result in zip(self.regions, self.results):
+            requests = result.total_requests
+            share = requests / self.total_requests * 100.0
+            met = sum(
+                e.requests
+                for e in result.epochs
+                if np.isfinite(e.p95_ms) and e.p95_ms <= result.sla_target_ms
+            )
+            rows.append(
+                (
+                    region.name,
+                    f"{share:.1f}",
+                    f"{region.trace.mean():.0f}",
+                    f"{result.total_carbon_g:,.0f}",
+                    f"{result.accuracy_loss_pct:.2f}",
+                    f"{result.p95_ms + region.net_latency_ms:.1f}",
+                    f"{met / requests * 100.0:.1f}",
+                )
+            )
+        rows.append(
+            (
+                "fleet",
+                "100.0",
+                "-",
+                f"{self.total_carbon_g:,.0f}",
+                f"{self.accuracy_loss_pct:.2f}",
+                "-",
+                f"{self.sla_attainment * 100.0:.1f}",
+            )
+        )
+        return headers, rows
+
+
+class FleetCoordinator:
+    """Runs N regional services under one router and one global workload."""
+
+    def __init__(
+        self,
+        services: list[RegionalService],
+        router: Router,
+        floor_share: float = DEFAULT_FLOOR_SHARE,
+    ) -> None:
+        if not services:
+            raise ValueError("a fleet needs at least one region")
+        # A strictly positive floor keeps every routed rate positive (a
+        # zero-rate region has no defined service measurement).
+        if not 0.0 < floor_share < 1.0:
+            raise ValueError(f"floor share must be in (0, 1), got {floor_share}")
+        families = {s.controller.scheme.family for s in services}
+        if len(families) != 1:
+            raise ValueError(
+                f"all regions must serve one model family, got {sorted(families)}"
+            )
+        steps = {s.controller.step_s for s in services}
+        if len(steps) != 1:
+            raise ValueError("all regions must share the epoch length")
+        names = [s.region.name for s in services]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names: {names}")
+        self.services = list(services)
+        self.router = router
+        self.floor_share = floor_share
+        self.step_s = self.services[0].controller.step_s
+        self._nominal = np.array(
+            [s.nominal_rate_per_s for s in self.services], dtype=np.float64
+        )
+        self._capacity = np.array(
+            [s.capacity_rate_per_s for s in self.services], dtype=np.float64
+        )
+        self._pue = np.array([s.region.pue for s in self.services])
+        self._latency = np.array(
+            [s.region.net_latency_ms for s in self.services]
+        )
+        self.global_rate_per_s = float(self._nominal.sum())
+
+    @classmethod
+    def create(
+        cls,
+        regions: tuple[Region, ...] | list[Region],
+        application: str = "classification",
+        scheme: str = "clover",
+        router: Router | str = "carbon-greedy",
+        lambda_weight: float = PAPER_LAMBDA,
+        fidelity: FidelityProfile | str = "default",
+        seed: int = 0,
+        utilization: float = DEFAULT_BASE_UTILIZATION,
+        max_utilization: float = DEFAULT_MAX_UTILIZATION,
+        floor_share: float = DEFAULT_FLOOR_SHARE,
+        zoo: ModelZoo | None = None,
+        perf: PerfModel | None = None,
+    ) -> "FleetCoordinator":
+        """Assemble one regional service per region plus the router.
+
+        Region ``i`` gets root seed ``seed + i``, so region 0 of an N=1
+        fleet reproduces the standalone service at the same seed exactly.
+        """
+        if isinstance(fidelity, str):
+            fidelity = FidelityProfile.by_name(fidelity)
+        zoo = zoo or default_zoo()
+        perf = perf or PerfModel()
+        services = [
+            RegionalService.create(
+                region=region,
+                application=application,
+                scheme=scheme,
+                lambda_weight=lambda_weight,
+                fidelity=fidelity,
+                seed=seed + i,
+                utilization=utilization,
+                max_utilization=max_utilization,
+                zoo=zoo,
+                perf=perf,
+            )
+            for i, region in enumerate(regions)
+        ]
+        if isinstance(router, str):
+            router = make_router(router)
+        return cls(services, router, floor_share=floor_share)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _context(self, t_h: float) -> RoutingContext:
+        ci = np.array([s.observe_ci(t_h) for s in self.services])
+        if self.router.needs_sla_caps:
+            sla_caps = np.array([s.sla_safe_rate() for s in self.services])
+        else:
+            # Policies that never consult the SLA caps skip the bisection
+            # probes, so the static path stays a pure pass-through.
+            sla_caps = self._capacity.copy()
+        return RoutingContext(
+            t_h=t_h,
+            global_rate_per_s=self.global_rate_per_s,
+            ci=ci,
+            pue=self._pue,
+            net_latency_ms=self._latency,
+            nominal_rates=self._nominal,
+            capacity_rates=self._capacity,
+            sla_cap_rates=sla_caps,
+            floor_rates=self.floor_share * self._nominal,
+        )
+
+    def run(self, duration_h: float | None = None) -> FleetResult:
+        """Route and serve the global workload for ``duration_h`` hours."""
+        if duration_h is None:
+            duration_h = min(s.region.trace.span_h for s in self.services)
+        n_epochs = self.services[0].controller.n_epochs(duration_h)
+        results = [s.begin_run() for s in self.services]
+        for i in range(n_epochs):
+            t_h = i * self.step_s / 3600.0
+            shares = self.router.split(self._context(t_h))
+            rates = shares * self.global_rate_per_s
+            for service, result, rate in zip(self.services, results, rates):
+                service.step(result, i, t_h, float(rate))
+        for service, result in zip(self.services, results):
+            service.finalize(result)
+        return FleetResult(
+            router_name=self.router.name,
+            scheme_name=self.services[0].controller.scheme.name,
+            application=self.services[0].controller.application,
+            global_rate_per_s=self.global_rate_per_s,
+            regions=tuple(s.region for s in self.services),
+            results=tuple(results),
+        )

@@ -1,0 +1,201 @@
+"""RegionalService: the seed single-cluster control loop, fleet-addressable.
+
+This is the extraction seam of the multi-region refactor: one region wraps
+exactly the service the seed code assembles
+(:meth:`repro.core.service.CarbonAwareInferenceService.create` with the
+region's trace, PUE and GPU count) and exposes the controller's step-wise
+API plus the two quantities routing needs — the region's capacity cap and
+the highest rate at which the currently-deployed configuration still meets
+the SLA after the region's network latency.
+
+Driven with its nominal rate every epoch, a ``RegionalService`` is
+*behavior-identical* to the seed service: same RNG streams, same evaluator
+caches, same accounting arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.controller import EpochRecord, RunResult, ServiceController
+from repro.core.service import (
+    CarbonAwareInferenceService,
+    FidelityProfile,
+    PAPER_LAMBDA,
+    derive_baseline,
+)
+from repro.fleet.regions import Region
+from repro.models.perf import PerfModel
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.serving.sla import SlaPolicy
+from repro.serving.workload import DEFAULT_BASE_UTILIZATION, default_rate
+
+__all__ = ["RegionalService", "DEFAULT_MAX_UTILIZATION"]
+
+#: How hard routing may load a region relative to its BASE capacity.  The
+#: nominal sizing is 65%; the gap to 85% is the headroom a carbon-greedy
+#: router can shift into a clean region before its queues blow up.
+DEFAULT_MAX_UTILIZATION = 0.85
+
+
+@dataclass
+class RegionalService:
+    """One region's fully-assembled service plus its routing envelope."""
+
+    region: Region
+    service: CarbonAwareInferenceService
+    nominal_rate_per_s: float
+    capacity_rate_per_s: float
+
+    @classmethod
+    def create(
+        cls,
+        region: Region,
+        application: str = "classification",
+        scheme: str = "clover",
+        lambda_weight: float = PAPER_LAMBDA,
+        fidelity: FidelityProfile | str = "default",
+        seed: int = 0,
+        utilization: float = DEFAULT_BASE_UTILIZATION,
+        max_utilization: float = DEFAULT_MAX_UTILIZATION,
+        accuracy_floor_pct: float | None = None,
+        zoo: ModelZoo | None = None,
+        perf: PerfModel | None = None,
+    ) -> "RegionalService":
+        """Assemble the region's service exactly as the seed facade does.
+
+        The one fleet-specific twist is the SLA floor: the region's BASE
+        deployment is measured exactly as the seed does it, then the p95
+        target is *tightened* by the region's network latency, so every
+        scheme decision inside the region already accounts for the hop its
+        users pay.  A region with zero network latency gets the untouched
+        seed baseline — the N=1 equivalence path.
+        """
+        if not utilization < max_utilization < 1.0:
+            raise ValueError(
+                f"need utilization < max_utilization < 1, got "
+                f"{utilization} and {max_utilization}"
+            )
+        if isinstance(fidelity, str):
+            fidelity = FidelityProfile.by_name(fidelity)
+        zoo = zoo or default_zoo()
+        perf = perf or PerfModel()
+        fam = zoo.for_application(application)
+        nominal = default_rate(fam, perf, region.n_gpus, utilization)
+        baseline = derive_baseline(
+            zoo=zoo,
+            perf=perf,
+            family=fam.name,
+            n_gpus=region.n_gpus,
+            rate_per_s=nominal,
+            ci_base=region.trace.mean(),
+            des_requests=fidelity.sla_des_requests,
+            seed=seed,
+            pue=region.pue,
+        )
+        if region.net_latency_ms > 0.0:
+            budget = baseline.sla.p95_target_ms - region.net_latency_ms
+            if budget <= 0.0:
+                raise ValueError(
+                    f"region {region.name!r}: network latency "
+                    f"{region.net_latency_ms:.1f} ms exceeds the SLA target "
+                    f"{baseline.sla.p95_target_ms:.1f} ms — it can never "
+                    "serve within the SLA"
+                )
+            baseline = replace(baseline, sla=SlaPolicy(p95_target_ms=budget))
+        service = CarbonAwareInferenceService.create(
+            application=application,
+            scheme=scheme,
+            n_gpus=region.n_gpus,
+            lambda_weight=lambda_weight,
+            trace=region.trace,
+            zoo=zoo,
+            perf=perf,
+            utilization=utilization,
+            accuracy_floor_pct=accuracy_floor_pct,
+            fidelity=fidelity,
+            pue=region.pue,
+            seed=seed,
+            baseline=baseline,
+        )
+        return cls(
+            region=region,
+            service=service,
+            nominal_rate_per_s=nominal,
+            capacity_rate_per_s=default_rate(
+                fam, perf, region.n_gpus, max_utilization
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # controller pass-throughs
+    # ------------------------------------------------------------------ #
+
+    @property
+    def controller(self) -> ServiceController:
+        return self.service.controller
+
+    @property
+    def sla_target_ms(self) -> float:
+        """Service-side p95 target, already tightened by network latency."""
+        return self.controller.objective.sla.p95_target_ms
+
+    def observe_ci(self, t_h: float) -> float:
+        """The region's grid carbon intensity at trace time ``t_h``."""
+        return self.controller.monitor.observe(t_h)
+
+    def begin_run(self) -> RunResult:
+        return self.controller.begin_run()
+
+    def step(
+        self, result: RunResult, index: int, t_h: float, rate_per_s: float
+    ) -> EpochRecord:
+        return self.controller.step(result, index, t_h, rate_per_s)
+
+    def finalize(self, result: RunResult) -> RunResult:
+        return self.controller.finalize(result)
+
+    # ------------------------------------------------------------------ #
+    # routing envelope
+    # ------------------------------------------------------------------ #
+
+    def sla_safe_rate(self, iters: int = 12) -> float:
+        """Highest rate at which the deployed config should meet the SLA.
+
+        Bisects the analytic p95 estimate of the *currently deployed*
+        configuration against the network-tightened :attr:`sla_target_ms`
+        (p95 is monotone in rate).  Before the first deployment — or when
+        even a trickle violates the target — it returns the capacity cap
+        or zero respectively; zero means the region can only carry its
+        un-shiftable floor traffic this epoch.
+        """
+        deployed = self.controller.deployed
+        if deployed is None:
+            return self.capacity_rate_per_s
+        budget = self.sla_target_ms
+        estimator = self.service.scheme.evaluator
+
+        def p95_at(rate: float) -> float:
+            return estimator.evaluate(deployed, rate_per_s=rate).p95_ms
+
+        hi = self.capacity_rate_per_s
+        if p95_at(hi) <= budget:
+            return hi
+        lo = 0.01 * self.nominal_rate_per_s
+        if p95_at(lo) > budget:
+            return 0.0
+        for _ in range(iters):
+            mid = 0.5 * (lo + hi)
+            if p95_at(mid) <= budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def effective_p95_ms(self, service_p95_ms: float) -> float:
+        """End-to-end p95 a user of this region observes."""
+        if not np.isfinite(service_p95_ms):
+            return float("inf")
+        return service_p95_ms + self.region.net_latency_ms

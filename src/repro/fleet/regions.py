@@ -1,0 +1,149 @@
+"""Region: one datacenter location in a multi-region serving fleet.
+
+A region bundles everything that makes a location distinct for carbon-aware
+routing: its grid carbon-intensity trace (built on the calibrated profiles
+of :mod:`repro.carbon.generator`), its datacenter PUE, the network latency
+users pay to reach it, and its GPU count.  The built-in registry covers the
+paper's evaluation grids (so a 1-region fleet over ``"us-ciso"`` sees the
+*identical* trace the single-cluster experiments use) plus a hydro-dominated
+Nordic region that gives the carbon-greedy router a clean target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.carbon.accounting import DEFAULT_PUE
+from repro.carbon.generator import (
+    CISO_MARCH,
+    CISO_SEPTEMBER,
+    ESO_MARCH,
+    GridProfile,
+    NORDIC_HYDRO,
+    generate_trace,
+)
+from repro.carbon.intensity import CarbonIntensityTrace
+from repro.carbon.traces import (
+    ciso_march_48h,
+    ciso_september_48h,
+    eso_march_48h,
+)
+from repro.core.service import PAPER_N_GPUS
+
+__all__ = [
+    "Region",
+    "REGION_NAMES",
+    "region_by_name",
+    "default_fleet_regions",
+    "make_region",
+]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One fleet location: grid signal plus datacenter/network properties.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"us-ciso"``) — also labels per-region reports.
+    trace:
+        The region's grid carbon-intensity series (gCO2/kWh over hours).
+    pue:
+        Datacenter power-usage effectiveness; multiplies IT energy.
+    net_latency_ms:
+        One-way-equivalent network latency users pay to reach the region;
+        added on top of the service p95 when checking the SLA.
+    n_gpus:
+        GPUs provisioned in the region's cluster.
+    """
+
+    name: str
+    trace: CarbonIntensityTrace
+    pue: float = DEFAULT_PUE
+    net_latency_ms: float = 0.0
+    n_gpus: int = PAPER_N_GPUS
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ValueError(f"PUE cannot be below 1.0, got {self.pue}")
+        if self.net_latency_ms < 0:
+            raise ValueError(
+                f"network latency must be non-negative, got {self.net_latency_ms}"
+            )
+        if self.n_gpus <= 0:
+            raise ValueError(f"n_gpus must be positive, got {self.n_gpus}")
+
+    def with_gpus(self, n_gpus: int) -> "Region":
+        """Clone with a different cluster size (experiment convenience)."""
+        return replace(self, n_gpus=n_gpus)
+
+
+#: Registry rows: profile or trace factory, PUE, network latency, trace seed.
+#: The three paper grids reuse the exact embedded evaluation traces so an
+#: N=1 fleet reproduces the single-cluster experiments bit-for-bit.
+_TRACE_FACTORIES = {
+    "us-ciso": ciso_march_48h,
+    "us-ciso-sept": ciso_september_48h,
+    "uk-eso": eso_march_48h,
+}
+
+_REGION_SPECS: dict[str, tuple[GridProfile | None, float, float]] = {
+    # name: (profile for synthesis or None if embedded, pue, net latency ms)
+    "us-ciso": (CISO_MARCH, 1.5, 8.0),
+    "us-ciso-sept": (CISO_SEPTEMBER, 1.5, 8.0),
+    "uk-eso": (ESO_MARCH, 1.4, 18.0),
+    "nordic-hydro": (NORDIC_HYDRO, 1.1, 28.0),
+}
+
+#: Deterministic trace seed for registry regions without an embedded trace.
+_SYNTH_SEEDS = {"nordic-hydro": 20210322}
+
+REGION_NAMES = tuple(sorted(_REGION_SPECS))
+
+
+def region_by_name(name: str, n_gpus: int = PAPER_N_GPUS) -> Region:
+    """Build a registry region (``"us-ciso"``, ``"uk-eso"``, ...)."""
+    key = name.lower()
+    try:
+        profile, pue, latency = _REGION_SPECS[key]
+    except KeyError:
+        valid = ", ".join(REGION_NAMES)
+        raise KeyError(f"unknown region {name!r}; valid: {valid}") from None
+    if key in _TRACE_FACTORIES:
+        trace = _TRACE_FACTORIES[key]()
+    else:
+        trace = generate_trace(
+            profile, days=2.0, step_h=1.0, rng=_SYNTH_SEEDS[key]
+        )
+    return Region(
+        name=key, trace=trace, pue=pue, net_latency_ms=latency, n_gpus=n_gpus
+    )
+
+
+def default_fleet_regions(n_gpus: int = PAPER_N_GPUS) -> tuple[Region, ...]:
+    """The standard 3-region fleet: dirty solar, volatile wind, clean hydro."""
+    return tuple(
+        region_by_name(name, n_gpus=n_gpus)
+        for name in ("us-ciso", "uk-eso", "nordic-hydro")
+    )
+
+
+def make_region(
+    name: str,
+    profile: GridProfile,
+    days: float = 2.0,
+    seed: int = 0,
+    pue: float = DEFAULT_PUE,
+    net_latency_ms: float = 0.0,
+    n_gpus: int = PAPER_N_GPUS,
+) -> Region:
+    """Build a custom region from a grid profile (deterministic trace)."""
+    trace = generate_trace(profile, days=days, step_h=1.0, rng=seed)
+    return Region(
+        name=name,
+        trace=trace,
+        pue=pue,
+        net_latency_ms=net_latency_ms,
+        n_gpus=n_gpus,
+    )

@@ -1,0 +1,198 @@
+"""Per-epoch traffic routing across fleet regions.
+
+The fleet coordinator owns one global Poisson workload; each epoch a
+:class:`Router` splits its rate into per-region shares.  Splitting a
+Poisson process by independent routing probabilities is Poisson thinning:
+each region again sees a Poisson process at its assigned rate, which is why
+the per-region control loops can keep the seed's evaluator machinery
+unchanged.  Conservation is structural — every policy returns shares whose
+rates sum to the global rate, so no arrival is dropped or double-counted.
+
+Three policies, per the paper-adjacent systems (EcoServe, CarbonEdge):
+
+* **static** — fixed geo-DNS-style split proportional to region capacity
+  (or explicit weights).  With one region this is the identity split, which
+  makes an N=1 fleet reproduce the single-cluster service bit-for-bit.
+* **latency** — greedy water-fill in order of network latency: nearby
+  regions first, subject to per-region capacity.  Carbon-blind.
+* **carbon-greedy** — greedy water-fill in order of *effective* carbon
+  intensity (grid intensity x PUE): cleanest grid first, subject to each
+  region's capacity cap and an SLA cap (the highest rate at which the
+  deployed configuration's estimated p95 plus the region's network latency
+  still meets the SLA).  Every region keeps a small floor share —
+  geo-resident traffic that cannot be shifted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "RoutingContext",
+    "Router",
+    "StaticRouter",
+    "LatencyAwareRouter",
+    "CarbonGreedyRouter",
+    "ROUTER_NAMES",
+    "make_router",
+]
+
+
+@dataclass(frozen=True)
+class RoutingContext:
+    """Everything a router may consult for one epoch's split.
+
+    All arrays are indexed by region, in fleet order.  ``sla_cap_rates``
+    holds the highest per-region rate at which the *deployed* configuration
+    is expected to meet the SLA after adding the region's network latency
+    (``inf`` before the first deployment).
+    """
+
+    t_h: float
+    global_rate_per_s: float
+    ci: np.ndarray
+    pue: np.ndarray
+    net_latency_ms: np.ndarray
+    nominal_rates: np.ndarray
+    capacity_rates: np.ndarray
+    sla_cap_rates: np.ndarray
+    floor_rates: np.ndarray
+
+    @property
+    def n_regions(self) -> int:
+        return int(self.ci.size)
+
+    @property
+    def effective_ci(self) -> np.ndarray:
+        """Grid intensity scaled by PUE: the true gCO2/kWh of IT energy."""
+        return self.ci * self.pue
+
+
+class Router(ABC):
+    """A per-epoch traffic splitting policy.
+
+    Every policy must return strictly positive shares: a region with zero
+    traffic has no defined service measurement, so "drained" regions keep
+    a floor share instead (see :class:`CarbonGreedyRouter`).  Policies
+    that consult ``ctx.sla_cap_rates`` must set ``needs_sla_caps`` so the
+    coordinator knows to run the (bisection-priced) SLA probes.
+    """
+
+    name: str = "router"
+    needs_sla_caps = False
+
+    @abstractmethod
+    def split(self, ctx: RoutingContext) -> np.ndarray:
+        """Return per-region shares of the global rate (positive, sum 1)."""
+
+    def rates(self, ctx: RoutingContext) -> np.ndarray:
+        """Convenience: the per-region arrival rates this epoch."""
+        return self.split(ctx) * ctx.global_rate_per_s
+
+
+@dataclass
+class StaticRouter(Router):
+    """Fixed split proportional to nominal region capacity (or weights).
+
+    The carbon-unaware baseline: what a geo-DNS round-robin sized to each
+    region's provisioning does.  With a single region the share is exactly
+    1.0, so the fleet path degenerates to the seed single-cluster loop.
+    """
+
+    weights: np.ndarray | None = None
+    name: str = field(default="static", init=False)
+
+    def split(self, ctx: RoutingContext) -> np.ndarray:
+        w = (
+            np.asarray(self.weights, dtype=np.float64)
+            if self.weights is not None
+            else ctx.nominal_rates
+        )
+        if w.size != ctx.n_regions:
+            raise ValueError(
+                f"{w.size} weights for {ctx.n_regions} regions"
+            )
+        if np.any(w <= 0):
+            # A zero-weight region would serve a zero rate, which has no
+            # defined DES measurement; drop the region from the fleet
+            # instead of routing nothing to it.
+            raise ValueError("weights must be strictly positive")
+        return w / w.sum()
+
+
+def _water_fill(ctx: RoutingContext, order: np.ndarray) -> np.ndarray:
+    """Fill regions in ``order`` up to their caps, floors guaranteed first.
+
+    Returns per-region *rates* summing to the global rate.  If the ordered
+    caps cannot absorb everything (SLA caps too tight), the remainder spills
+    proportionally to remaining *capacity* headroom; if even capacity is
+    exhausted, proportionally to nominal rates — conservation always wins
+    over caps, and the overloaded epochs show up in the DES measurements.
+    """
+    rates = np.minimum(ctx.floor_rates, ctx.capacity_rates).astype(np.float64)
+    remaining = ctx.global_rate_per_s - float(rates.sum())
+    caps = np.minimum(ctx.capacity_rates, ctx.sla_cap_rates)
+    for idx in order:
+        if remaining <= 0.0:
+            break
+        room = max(0.0, float(caps[idx] - rates[idx]))
+        take = min(remaining, room)
+        rates[idx] += take
+        remaining -= take
+    if remaining > 0.0:
+        headroom = np.maximum(ctx.capacity_rates - rates, 0.0)
+        basis = headroom if headroom.sum() > 0 else ctx.nominal_rates
+        rates = rates + remaining * basis / basis.sum()
+    return rates
+
+
+@dataclass
+class LatencyAwareRouter(Router):
+    """Nearest-region-first water-fill, capacity-capped and carbon-blind."""
+
+    name: str = field(default="latency", init=False)
+
+    def split(self, ctx: RoutingContext) -> np.ndarray:
+        order = np.argsort(ctx.net_latency_ms, kind="stable")
+        return _water_fill(ctx, order) / ctx.global_rate_per_s
+
+
+@dataclass
+class CarbonGreedyRouter(Router):
+    """Cleanest-grid-first water-fill under capacity and SLA caps.
+
+    Shifts as much of the global workload as the caps allow toward the
+    region with the lowest effective carbon intensity this epoch, then the
+    next cleanest, and so on.  The SLA cap keeps the shift honest: a clean
+    region only absorbs extra traffic up to the rate at which its deployed
+    configuration still meets the SLA after the added network latency.
+    """
+
+    name: str = field(default="carbon-greedy", init=False)
+    needs_sla_caps = True
+
+    def split(self, ctx: RoutingContext) -> np.ndarray:
+        order = np.argsort(ctx.effective_ci, kind="stable")
+        return _water_fill(ctx, order) / ctx.global_rate_per_s
+
+
+ROUTER_NAMES = ("static", "latency", "carbon-greedy")
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Factory by policy name (``"static"``, ``"latency"``, ``"carbon-greedy"``)."""
+    classes = {
+        "static": StaticRouter,
+        "latency": LatencyAwareRouter,
+        "carbon-greedy": CarbonGreedyRouter,
+    }
+    try:
+        cls = classes[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; valid: {', '.join(ROUTER_NAMES)}"
+        ) from None
+    return cls(**kwargs)

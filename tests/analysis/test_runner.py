@@ -78,3 +78,71 @@ class TestDerivedMetrics:
             n_gpus=2, duration_h=4.0,
         )
         assert set(out) == {("classification", "base")}
+
+
+class TestFleetRuns:
+    def _spec(self, **overrides):
+        from repro.analysis.runner import FleetSpec
+
+        base = dict(
+            region_names=("us-ciso",), application="classification",
+            scheme="base", router="static", fidelity="smoke", seed=0,
+            n_gpus=2, duration_h=4.0,
+        )
+        base.update(overrides)
+        return FleetSpec(**base)
+
+    def test_fleet_run_is_memoized(self, runner):
+        r1 = runner.run_fleet(self._spec())
+        r2 = runner.run_fleet(self._spec())
+        assert r1 is r2
+
+    def test_fleet_n1_static_matches_plain_run(self, runner):
+        """The runner's fleet path and single-cluster path agree exactly
+        on the paper trace (registry regions embed the same traces)."""
+        fleet = runner.run_fleet(self._spec())
+        plain = runner.run(SPEC)
+        assert fleet.total_requests == plain.total_requests
+        assert fleet.mean_accuracy == plain.mean_accuracy
+        # Carbon differs only by the run's PUE; energy is PUE-free.
+        assert fleet.total_energy_j == plain.total_energy_j
+
+    def test_fleet_experiment_orders_routers(self, runner):
+        """fleet_load_shifting: carbon-greedy saves carbon vs static and
+        keeps SLA attainment — the PR's acceptance ordering."""
+        from repro.analysis.experiments import fleet_load_shifting
+
+        result = fleet_load_shifting(
+            runner, fidelity="smoke", seed=0, n_gpus=2, duration_h=24.0,
+            routers=("static", "carbon-greedy"),
+        )
+        assert (
+            result.total_carbon_g["carbon-greedy"]
+            < result.total_carbon_g["static"]
+        )
+        assert (
+            result.sla_attainment["carbon-greedy"]
+            >= result.sla_attainment["static"]
+        )
+        assert result.carbon_save_vs_static_pct["carbon-greedy"] > 0.0
+        headers, rows = result.table()
+        assert len(rows) == 2
+
+    def test_fig16_custom_trace_falls_back_to_single_cluster(self, runner):
+        """Traces registered on the runner (no fleet region) still work."""
+        import numpy as np
+
+        from repro.analysis.experiments import fig16_geographic
+        from repro.carbon.intensity import CarbonIntensityTrace
+
+        flat = CarbonIntensityTrace(
+            times_h=np.array([0.0, 48.0]),
+            values=np.array([200.0, 200.0]),
+            name="flat-200",
+        )
+        runner.register_trace("flat-200", flat)
+        result = fig16_geographic(
+            runner, fidelity="smoke", seed=0,
+            applications=("classification",), trace_names=("flat-200",),
+        )
+        assert ("flat-200", "classification") in result.carbon_save_pct

@@ -166,3 +166,43 @@ class TestInvocationRecords:
             assert [c.order for c in inv.candidates] == list(
                 range(len(inv.candidates))
             )
+
+
+class TestCacheReporting:
+    def test_run_attaches_evaluator_cache_stats(self, parts):
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.run(12.0)
+        assert result.measure_cache is not None
+        assert result.measure_cache.evaluations > 0
+        assert result.opt_cache is not None
+        assert result.opt_cache.misses > 0
+
+    def test_step_api_matches_run(self, parts):
+        """Driving epochs by hand reproduces run() exactly (the seam the
+        fleet coordinator relies on)."""
+        whole = build_controller(parts, "clover", varying_trace()).run(6.0)
+        controller = build_controller(parts, "clover", varying_trace())
+        result = controller.begin_run()
+        for i in range(controller.n_epochs(6.0)):
+            controller.step(result, i, i * controller.step_s / 3600.0)
+        controller.finalize(result)
+        assert result.total_carbon_g == whole.total_carbon_g
+        assert result.mean_accuracy == whole.mean_accuracy
+        assert len(result.epochs) == len(whole.epochs)
+
+    def test_epoch_records_carry_rate(self, parts):
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.run(2.0)
+        for e in result.epochs:
+            assert e.rate_per_s == controller.rate_per_s
+
+    def test_step_rate_override_scales_requests(self, parts):
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.begin_run()
+        controller.step(result, 0, 0.0)  # warm-up epoch deploys BASE
+        controller.step(result, 1, 0.5, rate_per_s=controller.rate_per_s)
+        half = 0.5 * controller.rate_per_s
+        controller.step(result, 2, 1.0, rate_per_s=half)
+        full_epoch, half_epoch = result.epochs[1], result.epochs[2]
+        assert half_epoch.requests == pytest.approx(0.5 * full_epoch.requests)
+        assert half_epoch.rate_per_s == half

@@ -161,3 +161,52 @@ class TestValidation:
                 zoo=zoo, perf=perf, family="efficientnet", rate_per_s=0.0,
                 n_gpus=1,
             )
+
+
+class TestCacheStats:
+    def test_counters_track_hits_and_misses(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        cfg = uniform_config(fam, 4, 3, 2)
+        assert evaluator.cache_stats.evaluations == 0
+        evaluator.evaluate(cfg)
+        assert (evaluator.cache_hits, evaluator.cache_misses) == (0, 1)
+        evaluator.evaluate(cfg)
+        assert (evaluator.cache_hits, evaluator.cache_misses) == (1, 1)
+        stats = evaluator.cache_stats
+        assert stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_defined_before_first_evaluation(self, evaluator):
+        assert evaluator.cache_stats.hit_rate == 0.0
+
+
+class TestRateOverride:
+    def test_override_rate_changes_latency(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        nominal = evaluator.evaluate(cfg)
+        pushed = evaluator.evaluate(cfg, rate_per_s=1.3 * evaluator.rate_per_s)
+        assert pushed.p95_ms > nominal.p95_ms
+        assert evaluator.cache_size == 2  # distinct (graph, rate) entries
+
+    def test_same_rate_override_hits_default_entry(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        a = evaluator.evaluate(cfg)
+        b = evaluator.evaluate(cfg, rate_per_s=evaluator.rate_per_s)
+        assert a is b
+
+    def test_des_override_keeps_common_random_numbers(self, zoo, des_evaluator):
+        """A rate override scales the arrival gaps but reuses the per-graph
+        stream, so repeated probes at one rate are deterministic."""
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        r = 0.9 * des_evaluator.rate_per_s
+        a = des_evaluator.evaluate(cfg, rate_per_s=r)
+        b = des_evaluator.evaluate(cfg, rate_per_s=r)
+        assert a is b
+
+    def test_invalid_override_rejected(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        with pytest.raises(ValueError, match="rate"):
+            evaluator.evaluate(base_config(fam, 4), rate_per_s=0.0)

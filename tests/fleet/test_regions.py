@@ -1,0 +1,77 @@
+"""Region registry and construction."""
+
+import pytest
+
+from repro.carbon.generator import NORDIC_HYDRO
+from repro.carbon.traces import ciso_march_48h, eso_march_48h
+from repro.fleet import (
+    REGION_NAMES,
+    Region,
+    default_fleet_regions,
+    make_region,
+    region_by_name,
+)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert "us-ciso" in REGION_NAMES
+        assert "uk-eso" in REGION_NAMES
+        assert "nordic-hydro" in REGION_NAMES
+
+    def test_unknown_region_raises_with_listing(self):
+        with pytest.raises(KeyError, match="valid"):
+            region_by_name("atlantis")
+
+    def test_paper_regions_reuse_embedded_traces(self):
+        """An N=1 fleet over a paper grid must see the *identical* trace
+        the single-cluster experiments use (lru-cached singleton)."""
+        assert region_by_name("us-ciso").trace is ciso_march_48h()
+        assert region_by_name("uk-eso").trace is eso_march_48h()
+
+    def test_gpu_count_passthrough(self):
+        assert region_by_name("us-ciso", n_gpus=4).n_gpus == 4
+
+    def test_nordic_region_is_clean(self):
+        nordic = region_by_name("nordic-hydro")
+        ciso = region_by_name("us-ciso")
+        assert nordic.trace.mean() < 0.3 * ciso.trace.mean()
+        assert nordic.pue < ciso.pue
+
+    def test_default_fleet_is_three_distinct_regions(self):
+        regions = default_fleet_regions(n_gpus=2)
+        assert len(regions) == 3
+        assert len({r.name for r in regions}) == 3
+        assert all(r.n_gpus == 2 for r in regions)
+
+
+class TestRegionValidation:
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ValueError, match="PUE"):
+            Region(name="x", trace=ciso_march_48h(), pue=0.9)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            Region(name="x", trace=ciso_march_48h(), net_latency_ms=-1.0)
+
+    def test_nonpositive_gpus_rejected(self):
+        with pytest.raises(ValueError, match="n_gpus"):
+            Region(name="x", trace=ciso_march_48h(), n_gpus=0)
+
+    def test_with_gpus_clones(self):
+        r = region_by_name("us-ciso", n_gpus=10)
+        r2 = r.with_gpus(2)
+        assert r2.n_gpus == 2 and r.n_gpus == 10
+        assert r2.trace is r.trace
+
+
+class TestMakeRegion:
+    def test_deterministic_trace(self):
+        a = make_region("hydro", NORDIC_HYDRO, seed=42)
+        b = make_region("hydro", NORDIC_HYDRO, seed=42)
+        assert (a.trace.values == b.trace.values).all()
+
+    def test_seed_changes_trace(self):
+        a = make_region("hydro", NORDIC_HYDRO, seed=1)
+        b = make_region("hydro", NORDIC_HYDRO, seed=2)
+        assert (a.trace.values != b.trace.values).any()

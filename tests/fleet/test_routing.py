@@ -1,0 +1,175 @@
+"""Router invariants: conservation, capacity/SLA caps, policy ordering."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.routing import (
+    CarbonGreedyRouter,
+    LatencyAwareRouter,
+    ROUTER_NAMES,
+    RoutingContext,
+    StaticRouter,
+    make_router,
+)
+
+
+def make_ctx(
+    ci=(300.0, 150.0, 40.0),
+    pue=None,
+    latency=(5.0, 20.0, 40.0),
+    nominal=(30.0, 30.0, 30.0),
+    capacity=None,
+    sla_caps=None,
+    floor_share=0.05,
+    global_rate=None,
+):
+    n = len(ci)
+    nominal = np.asarray(nominal, dtype=np.float64)
+    return RoutingContext(
+        t_h=0.0,
+        global_rate_per_s=(
+            float(nominal.sum()) if global_rate is None else global_rate
+        ),
+        ci=np.asarray(ci, dtype=np.float64),
+        pue=np.asarray(pue if pue is not None else [1.5] * n),
+        net_latency_ms=np.asarray(latency, dtype=np.float64),
+        nominal_rates=nominal,
+        capacity_rates=np.asarray(
+            capacity if capacity is not None else nominal * 1.3
+        ),
+        sla_cap_rates=np.asarray(
+            sla_caps if sla_caps is not None else [np.inf] * n
+        ),
+        floor_rates=floor_share * nominal,
+    )
+
+
+ALL_ROUTERS = (StaticRouter(), LatencyAwareRouter(), CarbonGreedyRouter())
+
+
+class TestConservation:
+    @pytest.mark.parametrize("router", ALL_ROUTERS, ids=lambda r: r.name)
+    def test_shares_sum_to_one(self, router):
+        shares = router.split(make_ctx())
+        assert shares.sum() == pytest.approx(1.0, rel=1e-12)
+        assert (shares >= 0).all()
+
+    @pytest.mark.parametrize("router", ALL_ROUTERS, ids=lambda r: r.name)
+    def test_rates_conserve_global_rate(self, router):
+        ctx = make_ctx()
+        assert router.rates(ctx).sum() == pytest.approx(
+            ctx.global_rate_per_s, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("router", ALL_ROUTERS, ids=lambda r: r.name)
+    def test_conservation_survives_tight_sla_caps(self, router):
+        """Even when SLA caps cannot absorb the workload, every arrival is
+        routed somewhere (conservation beats caps)."""
+        ctx = make_ctx(sla_caps=(10.0, 10.0, 10.0))
+        assert router.rates(ctx).sum() == pytest.approx(
+            ctx.global_rate_per_s, rel=1e-12
+        )
+
+
+class TestStatic:
+    def test_single_region_share_is_exactly_one(self):
+        """The N=1 bit-for-bit equivalence hinges on an *exact* 1.0."""
+        ctx = make_ctx(ci=(200.0,), pue=(1.5,), latency=(0.0,), nominal=(37.0,))
+        shares = StaticRouter().split(ctx)
+        assert shares[0] == 1.0  # exact, not approx
+
+    def test_proportional_to_nominal(self):
+        ctx = make_ctx(nominal=(10.0, 30.0, 60.0))
+        assert StaticRouter().split(ctx) == pytest.approx([0.1, 0.3, 0.6])
+
+    def test_explicit_weights(self):
+        ctx = make_ctx()
+        shares = StaticRouter(weights=np.array([1.0, 1.0, 2.0])).split(ctx)
+        assert shares == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="regions"):
+            StaticRouter(weights=np.array([1.0, 2.0])).split(make_ctx())
+
+    def test_nonpositive_weights_rejected(self):
+        """Zero-weight regions would serve a zero rate (undefined DES
+        measurement); the router refuses them up front."""
+        for bad in (-1.0, 0.0):
+            with pytest.raises(ValueError, match="positive"):
+                StaticRouter(weights=np.array([1.0, bad, 1.0])).split(
+                    make_ctx()
+                )
+
+    def test_ignores_carbon(self):
+        clean_last = StaticRouter().split(make_ctx(ci=(300.0, 150.0, 40.0)))
+        clean_first = StaticRouter().split(make_ctx(ci=(40.0, 150.0, 300.0)))
+        assert clean_last == pytest.approx(clean_first)
+
+
+class TestCarbonGreedy:
+    def test_cleanest_region_filled_to_cap(self):
+        ctx = make_ctx()
+        rates = CarbonGreedyRouter().rates(ctx)
+        # Region 2 (ci=40) is cleanest: filled to its capacity cap.
+        assert rates[2] == pytest.approx(ctx.capacity_rates[2])
+        # The dirtiest region keeps the least.
+        assert rates[0] < rates[1] <= rates[2]
+
+    def test_capacity_caps_respected_when_feasible(self):
+        ctx = make_ctx()
+        rates = CarbonGreedyRouter().rates(ctx)
+        assert (rates <= ctx.capacity_rates * (1 + 1e-12)).all()
+
+    def test_sla_caps_respected_when_feasible(self):
+        """A clean region with a tight SLA cap only absorbs up to the cap."""
+        ctx = make_ctx(sla_caps=(np.inf, np.inf, 32.0))
+        rates = CarbonGreedyRouter().rates(ctx)
+        assert rates[2] == pytest.approx(32.0)
+        assert (
+            rates <= np.minimum(ctx.capacity_rates, ctx.sla_cap_rates) + 1e-9
+        ).all()
+
+    def test_floor_shares_never_shifted_away(self):
+        ctx = make_ctx()
+        rates = CarbonGreedyRouter().rates(ctx)
+        assert (rates >= ctx.floor_rates - 1e-12).all()
+
+    def test_effective_ci_uses_pue(self):
+        """A dirty-grid/efficient-datacenter region can beat a cleaner grid
+        behind a terrible PUE."""
+        ctx = make_ctx(ci=(100.0, 90.0, 300.0), pue=(1.1, 2.0, 1.5))
+        # effective: 110, 180, 450 -> region 0 is the routing winner.
+        rates = CarbonGreedyRouter().rates(ctx)
+        assert rates[0] == pytest.approx(ctx.capacity_rates[0])
+
+    def test_zero_sla_cap_leaves_only_floor(self):
+        """With enough headroom elsewhere, an SLA-infeasible region keeps
+        only its un-shiftable floor traffic."""
+        ctx = make_ctx(
+            capacity=(60.0, 60.0, 39.0), sla_caps=(np.inf, np.inf, 0.0)
+        )
+        rates = CarbonGreedyRouter().rates(ctx)
+        assert rates[2] == pytest.approx(ctx.floor_rates[2])
+
+
+class TestLatencyAware:
+    def test_nearest_region_filled_first(self):
+        ctx = make_ctx(latency=(40.0, 5.0, 20.0))
+        rates = LatencyAwareRouter().rates(ctx)
+        assert rates[1] == pytest.approx(ctx.capacity_rates[1])
+        assert rates[0] < rates[2] <= rates[1]
+
+    def test_ignores_carbon(self):
+        a = LatencyAwareRouter().split(make_ctx(ci=(300.0, 150.0, 40.0)))
+        b = LatencyAwareRouter().split(make_ctx(ci=(40.0, 150.0, 300.0)))
+        assert a == pytest.approx(b)
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in ROUTER_NAMES:
+            assert make_router(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="valid"):
+            make_router("teleport")

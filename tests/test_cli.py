@@ -74,3 +74,37 @@ class TestDemoCommand:
         assert "scheme=co2opt" in out
         assert "carbon:" in out
         assert "p95 latency:" in out
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.router == "carbon-greedy"
+        assert args.regions == "us-ciso,uk-eso,nordic-hydro"
+        assert args.duration_h == 24.0
+
+    def test_bad_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--router", "carrier-pigeon"])
+
+    def test_fleet_runs_and_reports(self, capsys):
+        assert main(
+            [
+                "fleet", "--regions", "us-ciso,nordic-hydro",
+                "--n-gpus", "2", "--duration-h", "3", "--scheme", "co2opt",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "router=carbon-greedy" in out
+        assert "us-ciso" in out and "nordic-hydro" in out
+        assert "SLA attainment" in out
+        assert "evaluator cache" in out
+
+    def test_unknown_region_fails_with_listing(self, capsys):
+        assert main(["fleet", "--regions", "atlantis"]) == 2
+        err = capsys.readouterr().err
+        assert "atlantis" in err and "valid" in err
+
+    def test_fleet_listed_as_experiment(self, capsys):
+        assert main(["list"]) == 0
+        assert "fleet" in capsys.readouterr().out.split()
