@@ -27,15 +27,36 @@ Multi-region::
     print(f"fleet carbon: {report.total_carbon_g:.0f} g, "
           f"SLA attainment: {100 * report.sla_attainment:.1f}%")
 
+Geo-diurnal demand with forecast-driven proactive routing::
+
+    from repro import FleetCoordinator, region_by_name
+
+    regions = [region_by_name(n, n_gpus=4)
+               for n in ("us-ciso", "uk-eso", "apac-solar")]
+    fleet = FleetCoordinator.create(
+        regions, router="forecast-aware", demand="diurnal",
+        ramp_share_per_h=0.10, drain_share_per_h=0.20, lookahead_h=6.0,
+    )
+    report = fleet.run(duration_h=48.0)
+    print(f"user SLA (per origin-region pair): "
+          f"{100 * report.user_sla_attainment:.1f}%")
+
 Packages: :mod:`repro.gpu` (MIG substrate), :mod:`repro.models` (Table-1
 model zoo), :mod:`repro.serving` (queueing + DES), :mod:`repro.carbon`
-(traces + accounting), :mod:`repro.core` (the Clover system),
-:mod:`repro.fleet` (multi-region coordination and routing), and
+(traces + accounting + forecasting), :mod:`repro.core` (the Clover
+system), :mod:`repro.fleet` (multi-region coordination and routing),
+:mod:`repro.demand` (geo-diurnal demand origins and latency matrix), and
 :mod:`repro.analysis` (paper-figure experiment harness).
 """
 
 from repro.core.service import CarbonAwareInferenceService, FidelityProfile
 from repro.core.controller import RunResult
+from repro.demand import (
+    DiurnalDemandModel,
+    GeoOrigin,
+    LatencyMatrix,
+    default_origins,
+)
 from repro.fleet import (
     FleetCoordinator,
     FleetResult,
@@ -47,7 +68,7 @@ from repro.models.zoo import default_zoo
 from repro.models.perf import PerfModel
 from repro.carbon.traces import evaluation_traces, trace_by_name
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CarbonAwareInferenceService",
@@ -58,6 +79,10 @@ __all__ = [
     "Region",
     "default_fleet_regions",
     "region_by_name",
+    "GeoOrigin",
+    "DiurnalDemandModel",
+    "LatencyMatrix",
+    "default_origins",
     "default_zoo",
     "PerfModel",
     "evaluation_traces",

@@ -51,6 +51,13 @@ class FleetSpec:
     the paper-faithful experiments (Fig. 16) pin it to 0.0 because the
     paper has no network model, while the fleet experiments keep the
     registry values (``None``).
+
+    The demand fields switch the run into geo-diurnal mode (see
+    :meth:`repro.fleet.FleetCoordinator.create`): ``demand`` names a
+    demand-model kind (``"constant"`` / ``"diurnal"``), ``demand_scale``
+    sizes its mean against the fleet's nominal sizing, the ramp/drain
+    shares bound per-hour traffic migration, and ``lookahead_h`` /
+    ``forecaster`` configure forecast-aware routing.
     """
 
     region_names: tuple[str, ...]
@@ -63,6 +70,12 @@ class FleetSpec:
     lambda_weight: float = PAPER_LAMBDA
     duration_h: float | None = None
     net_latency_ms: float | None = None
+    demand: str | None = None
+    demand_scale: float = 0.8
+    ramp_share_per_h: float | None = None
+    drain_share_per_h: float | None = None
+    lookahead_h: float | None = None
+    forecaster: str = "diurnal"
 
 
 @dataclass
@@ -133,6 +146,12 @@ class ExperimentRunner:
             lambda_weight=spec.lambda_weight,
             fidelity=FidelityProfile.by_name(spec.fidelity),
             seed=spec.seed,
+            demand=spec.demand,
+            demand_scale=spec.demand_scale,
+            ramp_share_per_h=spec.ramp_share_per_h,
+            drain_share_per_h=spec.drain_share_per_h,
+            lookahead_h=spec.lookahead_h,
+            forecaster=spec.forecaster,
         )
         result = fleet.run(duration_h=spec.duration_h)
         self._fleet_cache[spec] = result

@@ -28,6 +28,8 @@ from repro.carbon.intensity import CarbonIntensityTrace
 __all__ = [
     "PersistenceForecaster",
     "DiurnalForecaster",
+    "FORECASTER_NAMES",
+    "make_forecaster",
     "forecast_mae",
 ]
 
@@ -43,6 +45,13 @@ class PersistenceForecaster:
         if horizon_h < 0:
             raise ValueError(f"horizon must be non-negative, got {horizon_h}")
         return float(self.trace.at(t_h))
+
+    def predict_many(self, t_h: float, horizons_h) -> np.ndarray:
+        """Vector form of :meth:`predict` (persistence: one value fits all)."""
+        horizons = np.asarray(horizons_h, dtype=np.float64)
+        if np.any(horizons < 0):
+            raise ValueError("horizons must be non-negative")
+        return np.full(horizons.shape, float(self.trace.at(t_h)))
 
 
 @dataclass(frozen=True)
@@ -72,11 +81,19 @@ class DiurnalForecaster:
                 f"halflife must be positive, got {self.anomaly_halflife_h}"
             )
 
-    def _climatology(self, t_h: float) -> np.ndarray:
-        """Mean intensity per hour-of-day over history up to ``t_h``."""
+    def _climatology(self, t_h: float) -> np.ndarray | None:
+        """Mean intensity per hour-of-day over history up to ``t_h``.
+
+        Returns ``None`` when only a single sample precedes the query —
+        the short-history case where :meth:`predict` falls back to
+        persistence.  With *no* samples at all there is nothing to anchor
+        even persistence to, and the query is an error.
+        """
         mask = self.trace.times_h <= t_h
+        if mask.sum() == 0:
+            raise ValueError("no history at or before the query time")
         if mask.sum() < 2:
-            raise ValueError("not enough history before the query time")
+            return None
         hours = self.trace.times_h[mask] % 24.0
         values = self.trace.values[mask]
         profile = np.empty(24)
@@ -87,16 +104,58 @@ class DiurnalForecaster:
         return profile
 
     def predict(self, t_h: float, horizon_h: float) -> float:
-        """Forecast intensity at ``t_h + horizon_h`` using history <= t_h."""
+        """Forecast intensity at ``t_h + horizon_h`` using history <= t_h.
+
+        With fewer than two historical samples (the run's first epoch)
+        there is no climatology to relax toward, so the prediction falls
+        back to persistence — the honest degenerate forecast.
+        """
         if horizon_h < 0:
             raise ValueError(f"horizon must be non-negative, got {horizon_h}")
+        return float(self.predict_many(t_h, [horizon_h])[0])
+
+    def predict_many(self, t_h: float, horizons_h) -> np.ndarray:
+        """Forecasts for several horizons sharing one climatology build.
+
+        The hour-of-day profile depends only on ``t_h``, so evaluating a
+        whole lookahead window (the fleet coordinator samples eight
+        offsets per epoch) costs one profile construction instead of one
+        per offset.
+        """
+        horizons = np.asarray(horizons_h, dtype=np.float64)
+        if np.any(horizons < 0):
+            raise ValueError("horizons must be non-negative")
         profile = self._climatology(t_h)
         now = float(self.trace.at(t_h))
+        if profile is None:
+            return np.full(horizons.shape, now)
         hod_now = int(t_h % 24.0)
-        hod_target = int((t_h + horizon_h) % 24.0)
+        hod_targets = ((t_h + horizons) % 24.0).astype(int)
         anomaly = now - profile[hod_now]
-        decay = 0.5 ** (horizon_h / self.anomaly_halflife_h)
-        return float(profile[hod_target] + decay * anomaly)
+        decay = 0.5 ** (horizons / self.anomaly_halflife_h)
+        return profile[hod_targets] + decay * anomaly
+
+
+FORECASTER_NAMES = ("persistence", "diurnal")
+
+
+def make_forecaster(name: str, trace: CarbonIntensityTrace, **kwargs):
+    """Factory by forecaster name (``"persistence"``, ``"diurnal"``).
+
+    The hook the fleet coordinator uses to provision one forecaster per
+    region for forecast-aware routing.
+    """
+    classes = {
+        "persistence": PersistenceForecaster,
+        "diurnal": DiurnalForecaster,
+    }
+    try:
+        cls = classes[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown forecaster {name!r}; valid: {', '.join(FORECASTER_NAMES)}"
+        ) from None
+    return cls(trace, **kwargs)
 
 
 def forecast_mae(

@@ -34,6 +34,7 @@ __all__ = [
     "ESO_MARCH",
     "ESO_SEPTEMBER",
     "NORDIC_HYDRO",
+    "APAC_COAL_SOLAR",
 ]
 
 
@@ -54,6 +55,11 @@ class GridProfile:
     noise_std: float            # stationary std of the AR(1) wind term
     noise_corr: float           # AR(1) one-hour autocorrelation in [0, 1)
     floor: float = 20.0         # physical lower bound of the mix
+    #: Demand-ramp bump centres.  Defaults match the original hardcoded
+    #: values; regions whose local clock is offset from the fleet clock
+    #: (the geo-diurnal fleet) express all three centres in fleet hours.
+    morning_center_h: float = 7.0
+    evening_center_h: float = 19.5
 
     def __post_init__(self) -> None:
         if self.base <= 0 or self.floor <= 0:
@@ -93,8 +99,8 @@ def generate_trace(
     diurnal = (
         profile.base
         - profile.solar_depth * _bump(hod, profile.solar_center_h, profile.solar_width_h)
-        + profile.morning_peak * _bump(hod, 7.0, 1.5)
-        + profile.evening_peak * _bump(hod, 19.5, 2.0)
+        + profile.morning_peak * _bump(hod, profile.morning_center_h, 1.5)
+        + profile.evening_peak * _bump(hod, profile.evening_center_h, 2.0)
     )
 
     # AR(1) wind noise with stationary std = noise_std at the hourly scale.
@@ -162,6 +168,30 @@ NORDIC_HYDRO = GridProfile(
     evening_peak=8.0,
     noise_std=4.0,
     noise_corr=0.8,
+)
+
+#: Coal-heavy Asia-Pacific grid with fast-growing utility solar: very dirty
+#: baseline with a pronounced midday dip (India/Australia-like ranges).
+#: The demand experiments use it as the "users are here, carbon is not"
+#: region: its origin generates much of the load the routers must decide
+#: whether to serve locally (cheap network, dirty grid) or ship out.
+#: All bump centres are expressed in *fleet* hours: the region's local
+#: clock runs 8 h ahead of the fleet clock the paper traces share, so its
+#: local-noon solar trough lands at fleet hour 12.5 - 8 = 4.5 — this phase
+#: offset is what makes the fleet's cleanest-region ordering rotate with
+#: the sun instead of every grid dipping simultaneously.
+APAC_COAL_SOLAR = GridProfile(
+    name="APAC Coal+Solar",
+    base=560.0,
+    solar_depth=330.0,
+    solar_center_h=4.5,
+    solar_width_h=3.4,
+    morning_peak=35.0,
+    evening_peak=110.0,
+    noise_std=25.0,
+    noise_corr=0.8,
+    morning_center_h=23.0,
+    evening_center_h=11.5,
 )
 
 #: UK ESO, September: somewhat stronger solar, still wind-dominated.

@@ -15,6 +15,9 @@ Subcommands
 ``fleet``
     Route one global workload across multiple regions and print the
     aggregated fleet report (per-region and global carbon/accuracy/SLA).
+    ``--demand diurnal`` switches the run to geo-diurnal per-origin
+    demand with session-drain inertia and per-(origin, region) SLA
+    charging; ``--lookahead-h`` tunes the forecast-aware router.
 """
 
 from __future__ import annotations
@@ -118,6 +121,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", default="smoke", choices=("smoke", "default", "paper")
     )
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--demand",
+        default=None,
+        choices=("constant", "diurnal"),
+        help="geo-origin demand model (default: constant global rate)",
+    )
+    fleet.add_argument(
+        "--ramp-share-per-h",
+        type=float,
+        default=None,
+        dest="ramp_share_per_h",
+        help="max share a region may gain per hour (default: unlimited)",
+    )
+    fleet.add_argument(
+        "--drain-share-per-h",
+        type=float,
+        default=None,
+        dest="drain_share_per_h",
+        help="fraction of resident sessions drainable per hour "
+        "(default: unlimited)",
+    )
+    fleet.add_argument(
+        "--lookahead-h",
+        type=float,
+        default=None,
+        dest="lookahead_h",
+        help="forecast-aware router horizon in hours",
+    )
     return parser
 
 
@@ -206,6 +237,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             router=args.router,
             fidelity=args.fidelity,
             seed=args.seed,
+            demand=args.demand,
+            ramp_share_per_h=args.ramp_share_per_h,
+            drain_share_per_h=args.drain_share_per_h,
+            lookahead_h=args.lookahead_h,
         )
         t0 = time.perf_counter()
         report = fleet.run(duration_h=args.duration_h)
@@ -237,6 +272,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"  evaluator cache: {cache.hits:,} hits / {cache.misses:,} misses "
         f"({100 * cache.hit_rate:.1f}% hit rate)"
     )
+    if report.has_demand:
+        print(
+            f"  user SLA:        {100 * report.user_sla_attainment:.1f}% "
+            "(charged per origin-region pair)"
+        )
+        print(f"  mean net hop:    {report.mean_net_latency_ms:.1f} ms")
+        print()
+        headers, rows = report.origin_table()
+        print(format_table(headers, rows, title="-- demand origins --"))
     return 0
 
 

@@ -1,0 +1,249 @@
+"""Nonstationary per-origin demand: users sleep, weekends dip, news bursts.
+
+The demand side of the geo-diurnal story.  A :class:`DiurnalDemandModel`
+produces ``rate(origin, t_h)`` — a per-origin arrival rate that follows a
+sinusoidal day curve in the *origin's local time* (peak mid-afternoon,
+trough before dawn), damps on weekends, and can carry superimposed burst
+events (a product launch, a viral moment).  The curve is normalized so a
+weekday's time-average equals the configured mean rate, which keeps
+demand-model runs comparable to the constant-rate seed methodology.
+
+:class:`ConstantDemandModel` is the degenerate member of the family: every
+origin emits its weight share of the mean at every instant.  Driving the
+fleet with it reproduces the constant-rate path bit-for-bit (asserted in
+the fleet tests), which is the regression anchor for the whole subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.demand.origins import GeoOrigin, default_origins, normalized_weights
+
+__all__ = [
+    "BurstEvent",
+    "DemandModel",
+    "ConstantDemandModel",
+    "DiurnalDemandModel",
+    "default_demand",
+    "WEEKEND_DAYS",
+]
+
+#: Day-of-run indices treated as the weekend (runs start on a Monday).
+WEEKEND_DAYS = (5, 6)
+
+
+@dataclass(frozen=True)
+class BurstEvent:
+    """A transient demand surge at one origin (or fleet-wide).
+
+    ``magnitude`` multiplies the origin's rate during
+    ``[start_h, start_h + duration_h)``: 2.0 doubles it, 0.5 halves it
+    (a regional outage is just a burst below 1).
+    """
+
+    start_h: float
+    duration_h: float
+    magnitude: float
+    origin: str | None = None  # None: applies to every origin
+
+    def __post_init__(self) -> None:
+        if self.duration_h <= 0:
+            raise ValueError(f"burst duration must be positive, got {self.duration_h}")
+        if self.magnitude <= 0:
+            raise ValueError(f"burst magnitude must be positive, got {self.magnitude}")
+
+    def factor(self, origin_name: str, t_h: float) -> float:
+        if self.origin is not None and self.origin != origin_name:
+            return 1.0
+        if self.start_h <= t_h < self.start_h + self.duration_h:
+            return self.magnitude
+        return 1.0
+
+
+class DemandModel:
+    """Per-origin arrival rates over time; see the module docstring.
+
+    Subclasses implement :meth:`rates`; everything else derives from it.
+    """
+
+    origins: tuple[GeoOrigin, ...]
+
+    @property
+    def n_origins(self) -> int:
+        return len(self.origins)
+
+    @property
+    def origin_names(self) -> tuple[str, ...]:
+        return tuple(o.name for o in self.origins)
+
+    def rates(self, t_h: float) -> np.ndarray:
+        """Per-origin arrival rates (req/s) at fleet time ``t_h``."""
+        raise NotImplementedError
+
+    def rate(self, origin: str, t_h: float) -> float:
+        """One origin's arrival rate (req/s) at fleet time ``t_h``."""
+        try:
+            idx = self.origin_names.index(origin)
+        except ValueError:
+            valid = ", ".join(self.origin_names)
+            raise KeyError(f"unknown origin {origin!r}; valid: {valid}") from None
+        return float(self.rates(t_h)[idx])
+
+    def total_rate(self, t_h: float) -> float:
+        """Global arrival rate (req/s) at fleet time ``t_h``."""
+        return float(self.rates(t_h).sum())
+
+    def peak_total_rate(self) -> float:
+        """An upper bound on :meth:`total_rate` (thinning envelopes)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantDemandModel(DemandModel):
+    """Time-invariant demand: each origin emits its weight share, always.
+
+    With a single origin the emitted rate is *exactly*
+    ``mean_total_rate_per_s`` (no floating-point drift), which is what lets
+    a constant-demand N=1 fleet reproduce the seed service bit-for-bit.
+    """
+
+    origins: tuple[GeoOrigin, ...]
+    mean_total_rate_per_s: float
+
+    def __post_init__(self) -> None:
+        _validate(self.origins, self.mean_total_rate_per_s)
+
+    def rates(self, t_h: float) -> np.ndarray:
+        return self.mean_total_rate_per_s * normalized_weights(self.origins)
+
+    def peak_total_rate(self) -> float:
+        return self.mean_total_rate_per_s
+
+
+@dataclass(frozen=True)
+class DiurnalDemandModel(DemandModel):
+    """Sinusoidal day curve per origin, weekend damping, optional bursts.
+
+    The weekday shape in an origin's local time is
+    ``1 + swing * cos(2*pi*(local - peak_local_h)/24)`` — time-average
+    exactly 1, maximum at ``peak_local_h``, minimum twelve hours later.
+    ``day_night_swing`` in [0, 1) keeps every rate strictly positive (a
+    zero rate has no defined service measurement).
+
+    Parameters
+    ----------
+    origins:
+        The demand world; weights are normalized across it.
+    mean_total_rate_per_s:
+        Weekday time-average of the *global* rate (all origins summed).
+    day_night_swing:
+        Peak-to-mean amplitude of the day curve (0 = constant).
+    peak_local_h:
+        Local hour of maximum demand (mid-afternoon by default).
+    weekend_damping:
+        Fractional rate reduction on weekend days (0 = none).
+    bursts:
+        Superimposed :class:`BurstEvent` multipliers.
+    """
+
+    origins: tuple[GeoOrigin, ...]
+    mean_total_rate_per_s: float
+    day_night_swing: float = 0.55
+    peak_local_h: float = 14.5
+    weekend_damping: float = 0.25
+    bursts: tuple[BurstEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        _validate(self.origins, self.mean_total_rate_per_s)
+        if not 0.0 <= self.day_night_swing < 1.0:
+            raise ValueError(
+                f"day/night swing must be in [0, 1), got {self.day_night_swing}"
+            )
+        if not 0.0 <= self.weekend_damping < 1.0:
+            raise ValueError(
+                f"weekend damping must be in [0, 1), got {self.weekend_damping}"
+            )
+
+    def _shape(self, origin: GeoOrigin, t_h: float) -> float:
+        local = origin.local_hour(t_h)
+        shape = 1.0 + self.day_night_swing * np.cos(
+            2.0 * np.pi * (local - self.peak_local_h) / 24.0
+        )
+        # The weekend is a *local* calendar fact: day index in local time.
+        local_day = int(np.floor((t_h + origin.utc_offset_h) / 24.0)) % 7
+        if local_day in WEEKEND_DAYS:
+            shape *= 1.0 - self.weekend_damping
+        for burst in self.bursts:
+            shape *= burst.factor(origin.name, t_h)
+        return float(shape)
+
+    def rates(self, t_h: float) -> np.ndarray:
+        weights = normalized_weights(self.origins)
+        shapes = np.array([self._shape(o, t_h) for o in self.origins])
+        return self.mean_total_rate_per_s * weights * shapes
+
+    def peak_total_rate(self) -> float:
+        """Upper bound: every origin at peak simultaneously, bursts stacked."""
+        burst_cap = 1.0
+        for b in self.bursts:
+            burst_cap *= max(1.0, b.magnitude)
+        return (
+            self.mean_total_rate_per_s * (1.0 + self.day_night_swing) * burst_cap
+        )
+
+    def workload(self, origin: str, start_h: float = 0.0):
+        """This origin's arrivals as a nonstationary Poisson process.
+
+        Returns a :class:`~repro.serving.workload.NonstationaryPoissonWorkload`
+        whose rate function is this model's ``rate(origin, ·)``,
+        thinning-enveloped by the origin's share of the peak rate.  The
+        sampler's window time (seconds from the window start) is mapped to
+        fleet time as ``start_h + t_s / 3600`` — pass the window's fleet
+        start hour or a mid-run window would be silently phase-shifted to
+        midnight.  The closure binds the origin's precomputed weight share
+        and evaluates only that origin's shape: the rate function runs
+        once per thinning candidate, so a full ``rates()`` sweep per call
+        would dominate the sampling cost.
+        """
+        from repro.serving.workload import NonstationaryPoissonWorkload
+
+        idx = self.origin_names.index(origin)
+        origin_obj = self.origins[idx]
+        share = float(normalized_weights(self.origins)[idx])
+        mean = self.mean_total_rate_per_s * share
+        return NonstationaryPoissonWorkload(
+            rate_fn=lambda t_s: mean
+            * self._shape(origin_obj, start_h + t_s / 3600.0),
+            max_rate_per_s=share * self.peak_total_rate(),
+        )
+
+
+def _validate(origins: tuple[GeoOrigin, ...], mean_rate: float) -> None:
+    if not origins:
+        raise ValueError("a demand model needs at least one origin")
+    names = [o.name for o in origins]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate origin names: {names}")
+    if mean_rate <= 0:
+        raise ValueError(f"mean rate must be positive, got {mean_rate}")
+
+
+def default_demand(
+    mean_total_rate_per_s: float, kind: str = "diurnal", **kwargs
+) -> DemandModel:
+    """Build a demand model over the default origins by kind name."""
+    origins = kwargs.pop("origins", None) or default_origins()
+    if kind == "constant":
+        return ConstantDemandModel(
+            origins=origins, mean_total_rate_per_s=mean_total_rate_per_s
+        )
+    if kind == "diurnal":
+        return DiurnalDemandModel(
+            origins=origins,
+            mean_total_rate_per_s=mean_total_rate_per_s,
+            **kwargs,
+        )
+    raise ValueError(f"unknown demand kind {kind!r}; valid: constant, diurnal")

@@ -1,0 +1,193 @@
+"""Origin→region network latency: a matrix, not a per-region scalar.
+
+The PR-1 fleet charged each region one scalar network latency — implicitly
+assuming all users sit in one place.  With geographic origins the latency a
+user pays depends on the *(origin, serving region)* pair: a European request
+served in Europe pays ~12 ms, the same request shipped to an APAC region
+pays ~75 ms.  This module prices that matrix from the coarse zone of each
+endpoint and provides the greedy minimum-latency *transport* that maps an
+epoch's per-origin demand onto the router's per-region totals.
+
+The zone-pair prices are one-way-equivalent WAN latencies calibrated to
+published inter-continental RTT ranges (halved), rounded to keep the
+arithmetic legible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.demand.origins import GeoOrigin, ZONES
+
+__all__ = [
+    "ZONE_LATENCY_MS",
+    "LatencyMatrix",
+    "default_latency_matrix",
+    "assign_origin_traffic",
+]
+
+#: One-way-equivalent network latency between coarse zones, milliseconds.
+#: Symmetric; the diagonal is the intra-zone (user → in-zone datacenter)
+#: hop.  Cross-zone figures assume an anycast front door onto a private
+#: backbone (roughly half the public-internet RTT/2 for each pair); they
+#: matter a great deal, because a serving fleet's p95 budget is ~90 ms —
+#: at these prices cross-zone serving is *feasible but expensive*, which
+#: is the regime where latency-aware carbon routing is interesting at all.
+ZONE_LATENCY_MS: dict[tuple[str, str], float] = {
+    ("na", "na"): 10.0,
+    ("eu", "eu"): 8.0,
+    ("apac", "apac"): 14.0,
+    ("na", "eu"): 35.0,
+    ("na", "apac"): 55.0,
+    ("eu", "apac"): 65.0,
+}
+
+
+def zone_latency_ms(zone_a: str, zone_b: str) -> float:
+    """Latency between two zones (symmetric lookup)."""
+    for z in (zone_a, zone_b):
+        if z not in ZONES:
+            raise KeyError(f"unknown zone {z!r}; valid: {', '.join(ZONES)}")
+    try:
+        return ZONE_LATENCY_MS[(zone_a, zone_b)]
+    except KeyError:
+        return ZONE_LATENCY_MS[(zone_b, zone_a)]
+
+
+@dataclass(frozen=True)
+class LatencyMatrix:
+    """Network latency for every (origin, region) pair, milliseconds.
+
+    Rows are origins, columns regions, both in fleet order.  The matrix is
+    the SLA-charging authority of the demand subsystem: end-to-end latency
+    of a request from origin ``o`` served in region ``r`` is the region's
+    service latency plus ``latency_ms[o, r]``.
+    """
+
+    origin_names: tuple[str, ...]
+    region_names: tuple[str, ...]
+    latency_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.latency_ms, dtype=np.float64)
+        expected = (len(self.origin_names), len(self.region_names))
+        if m.shape != expected:
+            raise ValueError(
+                f"latency matrix shape {m.shape} != (origins, regions) {expected}"
+            )
+        if np.any(m < 0):
+            raise ValueError("network latencies must be non-negative")
+        m.setflags(write=False)
+        object.__setattr__(self, "latency_ms", m)
+
+    def latency(self, origin: str, region: str) -> float:
+        """The (origin, region) entry by name."""
+        try:
+            i = self.origin_names.index(origin)
+        except ValueError:
+            raise KeyError(f"unknown origin {origin!r}") from None
+        try:
+            j = self.region_names.index(region)
+        except ValueError:
+            raise KeyError(f"unknown region {region!r}") from None
+        return float(self.latency_ms[i, j])
+
+    def weighted_region_latency(self, origin_weights: np.ndarray) -> np.ndarray:
+        """Demand-weighted mean latency into each region.
+
+        The expected network hop of a region serving the full global
+        traffic mix; the fleet reports use it as a diagnostic.
+        """
+        w = np.asarray(origin_weights, dtype=np.float64)
+        if w.shape != (len(self.origin_names),):
+            raise ValueError(
+                f"{w.size} weights for {len(self.origin_names)} origins"
+            )
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("origin weights must be non-negative, sum positive")
+        return (w / w.sum()) @ self.latency_ms
+
+    def nearest_origin_latency(self) -> np.ndarray:
+        """Each region's hop from its nearest origin (column minima).
+
+        The scalar a region's SLA baseline is tightened by at assembly
+        time: a datacenter is provisioned for the users it sits next to,
+        and the *extra* hop of farther origins routed there is charged per
+        (origin, region) pair when attainment is judged — not by
+        pre-shrinking the whole region's budget to the global mix's mean.
+        """
+        return self.latency_ms.min(axis=0)
+
+
+def default_latency_matrix(
+    origins: tuple[GeoOrigin, ...], regions
+) -> LatencyMatrix:
+    """Price every (origin, region) pair from the endpoints' zones.
+
+    ``regions`` is any sequence of objects with ``name`` and ``zone``
+    attributes (:class:`repro.fleet.regions.Region` qualifies; so does a
+    test double).
+    """
+    matrix = np.array(
+        [
+            [zone_latency_ms(o.zone, r.zone) for r in regions]
+            for o in origins
+        ],
+        dtype=np.float64,
+    )
+    return LatencyMatrix(
+        origin_names=tuple(o.name for o in origins),
+        region_names=tuple(r.name for r in regions),
+        latency_ms=matrix,
+    )
+
+
+def assign_origin_traffic(
+    origin_rates: np.ndarray,
+    region_rates: np.ndarray,
+    latency_ms: np.ndarray,
+) -> np.ndarray:
+    """Map per-origin supply onto per-region totals, nearest pairs first.
+
+    Greedy minimum-latency transport: walk (origin, region) pairs in
+    increasing latency, assigning ``min(remaining supply, remaining
+    capacity)`` to each.  Because the router conserves the global rate
+    (``sum(origin_rates) == sum(region_rates)``), the result ``M`` is a
+    complete transport plan: ``M.sum(axis=1) == origin_rates`` and
+    ``M.sum(axis=0) == region_rates``.  Ties break on (latency, origin,
+    region) index order, so the plan is deterministic.
+
+    This is how SLA tightening is *charged* per (origin, serving-region)
+    pair: the plan says which origins' requests each region actually
+    served, and the latency matrix prices each cell.
+    """
+    supply = np.asarray(origin_rates, dtype=np.float64).copy()
+    demand = np.asarray(region_rates, dtype=np.float64).copy()
+    lat = np.asarray(latency_ms, dtype=np.float64)
+    if lat.shape != (supply.size, demand.size):
+        raise ValueError(
+            f"latency shape {lat.shape} != (origins, regions) "
+            f"{(supply.size, demand.size)}"
+        )
+    if np.any(supply < 0) or np.any(demand < 0):
+        raise ValueError("rates must be non-negative")
+    total_supply, total_demand = float(supply.sum()), float(demand.sum())
+    if not np.isclose(total_supply, total_demand, rtol=1e-6, atol=1e-9):
+        raise ValueError(
+            f"origin supply {total_supply:g} != region demand {total_demand:g}"
+        )
+    plan = np.zeros_like(lat)
+    order = np.argsort(lat, axis=None, kind="stable")
+    for flat in order:
+        o, r = np.unravel_index(flat, lat.shape)
+        take = min(supply[o], demand[r])
+        if take > 0.0:
+            plan[o, r] = take
+            supply[o] -= take
+            demand[r] -= take
+    # Every pair was visited with take = min(supply, demand), so no end
+    # state leaves both a positive supply and a positive demand: the plan
+    # is complete up to the (tolerance-checked) totals mismatch.
+    return plan

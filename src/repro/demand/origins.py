@@ -1,0 +1,113 @@
+"""GeoOrigin: where the fleet's user demand comes from.
+
+The seed reproduction (and the PR-1 fleet) drive every region from one
+constant global Poisson rate — demand has no geography and no clock.  Real
+inference traffic originates from population centres whose users are awake
+at different UTC hours, which is exactly what makes *geo-diurnal* routing
+interesting: an origin's demand peak sweeps around the planet while each
+grid's solar trough stays pinned to its own local noon.
+
+An origin bundles the three facts the demand layer needs: a relative
+population (demand) weight, a UTC offset that phases its day curve, and a
+coarse geographic *zone* used to price origin→region network latency (see
+:mod:`repro.demand.matrix`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GeoOrigin",
+    "ORIGIN_NAMES",
+    "ZONES",
+    "origin_by_name",
+    "default_origins",
+    "normalized_weights",
+]
+
+#: Coarse geographic zones shared with :class:`repro.fleet.regions.Region`.
+ZONES = ("na", "eu", "apac")
+
+
+@dataclass(frozen=True)
+class GeoOrigin:
+    """One demand origin: a population centre aggregated to a coarse zone.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"north-america"``) — also labels per-origin reports.
+    population_weight:
+        Relative share of global demand this origin generates (weights are
+        normalized across the origin set; only ratios matter).
+    utc_offset_h:
+        Local time = fleet time + offset.  Phases the origin's day curve:
+        Asia's evening peak lands ~14 fleet-hours before North America's.
+    zone:
+        Coarse geographic zone (one of :data:`ZONES`) used by the
+        origin→region latency matrix.
+    """
+
+    name: str
+    population_weight: float
+    utc_offset_h: float
+    zone: str
+
+    def __post_init__(self) -> None:
+        if self.population_weight <= 0:
+            raise ValueError(
+                f"population weight must be positive, got {self.population_weight}"
+            )
+        if not -12.0 <= self.utc_offset_h <= 14.0:
+            raise ValueError(
+                f"UTC offset must be within [-12, +14] h, got {self.utc_offset_h}"
+            )
+        if self.zone not in ZONES:
+            raise ValueError(
+                f"unknown zone {self.zone!r}; valid: {', '.join(ZONES)}"
+            )
+
+    def local_hour(self, t_h: float) -> float:
+        """Local hour-of-day at fleet time ``t_h`` (hours since run start)."""
+        return (t_h + self.utc_offset_h) % 24.0
+
+
+#: The default three-origin world: internet-population-weighted continents.
+#: Weights follow the rough split of global internet users (APAC ~ half,
+#: Europe and the Americas splitting the rest); offsets are the zones'
+#: population-weighted centres.
+_ORIGIN_SPECS: dict[str, tuple[float, float, str]] = {
+    # name: (population weight, UTC offset hours, zone)
+    "north-america": (0.25, -6.0, "na"),
+    "europe": (0.30, 1.0, "eu"),
+    "asia-pacific": (0.45, 8.0, "apac"),
+}
+
+ORIGIN_NAMES = tuple(sorted(_ORIGIN_SPECS))
+
+
+def origin_by_name(name: str) -> GeoOrigin:
+    """Build a registry origin (``"north-america"``, ``"europe"``, ...)."""
+    key = name.lower()
+    try:
+        weight, offset, zone = _ORIGIN_SPECS[key]
+    except KeyError:
+        valid = ", ".join(ORIGIN_NAMES)
+        raise KeyError(f"unknown origin {name!r}; valid: {valid}") from None
+    return GeoOrigin(
+        name=key, population_weight=weight, utc_offset_h=offset, zone=zone
+    )
+
+
+def default_origins() -> tuple[GeoOrigin, ...]:
+    """The standard three-origin demand world, in registry order."""
+    return tuple(origin_by_name(name) for name in ORIGIN_NAMES)
+
+
+def normalized_weights(origins: tuple[GeoOrigin, ...]) -> np.ndarray:
+    """Population weights normalized to sum exactly 1 (single origin → 1.0)."""
+    w = np.array([o.population_weight for o in origins], dtype=np.float64)
+    return w / w.sum()

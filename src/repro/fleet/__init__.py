@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro.fleet.coordinator import (
+    DEFAULT_DEMAND_SCALE,
     DEFAULT_FLOOR_SHARE,
     FleetCoordinator,
     FleetResult,
@@ -39,6 +40,7 @@ from repro.fleet.regions import (
 from repro.fleet.routing import (
     ROUTER_NAMES,
     CarbonGreedyRouter,
+    ForecastAwareRouter,
     LatencyAwareRouter,
     Router,
     RoutingContext,
@@ -59,9 +61,11 @@ __all__ = [
     "StaticRouter",
     "LatencyAwareRouter",
     "CarbonGreedyRouter",
+    "ForecastAwareRouter",
     "ROUTER_NAMES",
     "make_router",
     "FleetCoordinator",
     "FleetResult",
     "DEFAULT_FLOOR_SHARE",
+    "DEFAULT_DEMAND_SCALE",
 ]

@@ -39,6 +39,12 @@ __all__ = ["RegionalService", "DEFAULT_MAX_UTILIZATION"]
 #: router can shift into a clean region before its queues blow up.
 DEFAULT_MAX_UTILIZATION = 0.85
 
+#: Before the first deployment there is no configuration to bisect a p95
+#: against; budgets within this slack of the region's own target are
+#: treated as resident-grade (the cell planner tightens budgets by a few
+#: ms of safety margin, which must not zero out home traffic at epoch 0).
+PRE_DEPLOYMENT_BUDGET_SLACK_MS = 10.0
+
 
 @dataclass
 class RegionalService:
@@ -142,6 +148,18 @@ class RegionalService:
         """Service-side p95 target, already tightened by network latency."""
         return self.controller.objective.sla.p95_target_ms
 
+    @property
+    def user_sla_target_ms(self) -> float:
+        """The raw end-to-end p95 target users hold the fleet to.
+
+        Undoes the assembly-time tightening: service target plus the
+        network hop it was tightened by.  Every region of a fleet shares
+        this number (the application SLA), which is what lets demand-model
+        runs judge attainment per (origin, serving-region) pair — service
+        p95 plus the *pair's* matrix latency against this target.
+        """
+        return self.sla_target_ms + self.region.net_latency_ms
+
     def observe_ci(self, t_h: float) -> float:
         """The region's grid carbon intensity at trace time ``t_h``."""
         return self.controller.monitor.observe(t_h)
@@ -161,20 +179,39 @@ class RegionalService:
     # routing envelope
     # ------------------------------------------------------------------ #
 
-    def sla_safe_rate(self, iters: int = 12) -> float:
+    def sla_safe_rate(
+        self, budget_ms: float | None = None, iters: int = 12
+    ) -> float:
         """Highest rate at which the deployed config should meet the SLA.
 
         Bisects the analytic p95 estimate of the *currently deployed*
-        configuration against the network-tightened :attr:`sla_target_ms`
-        (p95 is monotone in rate).  Before the first deployment — or when
-        even a trickle violates the target — it returns the capacity cap
-        or zero respectively; zero means the region can only carry its
+        configuration against ``budget_ms`` — by default the
+        network-tightened :attr:`sla_target_ms`; demand-mode routing
+        passes per-(origin, region) budgets (the raw end-to-end target
+        minus the pair's matrix latency) so far-origin traffic throttles a
+        region exactly as hard as its extra hop demands (p95 is monotone
+        in rate).  Before the first deployment — or when even a trickle
+        violates the budget — it returns the capacity cap or zero
+        respectively; zero means the region can only carry its
         un-shiftable floor traffic this epoch.
         """
+        budget = self.sla_target_ms if budget_ms is None else budget_ms
+        if budget <= 0.0:
+            return 0.0
         deployed = self.controller.deployed
         if deployed is None:
-            return self.capacity_rate_per_s
-        budget = self.sla_target_ms
+            # Nothing to bisect against yet.  Resident-grade budgets —
+            # within a small slack of the region's own target, covering
+            # the cell planner's safety margin — get the capacity cap
+            # (the PR-1 behaviour); genuinely tighter far-origin budgets
+            # get nothing: epoch zero is no time to gamble remote traffic
+            # on a configuration that hasn't been measured.
+            slack = PRE_DEPLOYMENT_BUDGET_SLACK_MS
+            return (
+                self.capacity_rate_per_s
+                if budget >= self.sla_target_ms - slack
+                else 0.0
+            )
         estimator = self.service.scheme.evaluator
 
         def p95_at(rate: float) -> float:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 
 from repro.carbon.accounting import DEFAULT_PUE
 from repro.carbon.generator import (
+    APAC_COAL_SOLAR,
     CISO_MARCH,
     CISO_SEPTEMBER,
     ESO_MARCH,
@@ -53,9 +54,15 @@ class Region:
         Datacenter power-usage effectiveness; multiplies IT energy.
     net_latency_ms:
         One-way-equivalent network latency users pay to reach the region;
-        added on top of the service p95 when checking the SLA.
+        added on top of the service p95 when checking the SLA.  In
+        demand-model fleets this scalar is derived from the origin→region
+        latency matrix (the region's nearest-origin hop; farther origins'
+        extra latency is charged per pair).
     n_gpus:
         GPUs provisioned in the region's cluster.
+    zone:
+        Coarse geographic zone (``"na"``, ``"eu"``, ``"apac"``) used by the
+        demand layer to price origin→region network latency.
     """
 
     name: str
@@ -63,6 +70,7 @@ class Region:
     pue: float = DEFAULT_PUE
     net_latency_ms: float = 0.0
     n_gpus: int = PAPER_N_GPUS
+    zone: str = "na"
 
     def __post_init__(self) -> None:
         if self.pue < 1.0:
@@ -88,16 +96,17 @@ _TRACE_FACTORIES = {
     "uk-eso": eso_march_48h,
 }
 
-_REGION_SPECS: dict[str, tuple[GridProfile | None, float, float]] = {
-    # name: (profile for synthesis or None if embedded, pue, net latency ms)
-    "us-ciso": (CISO_MARCH, 1.5, 8.0),
-    "us-ciso-sept": (CISO_SEPTEMBER, 1.5, 8.0),
-    "uk-eso": (ESO_MARCH, 1.4, 18.0),
-    "nordic-hydro": (NORDIC_HYDRO, 1.1, 28.0),
+_REGION_SPECS: dict[str, tuple[GridProfile | None, float, float, str]] = {
+    # name: (profile or None if embedded, pue, net latency ms, zone)
+    "us-ciso": (CISO_MARCH, 1.5, 8.0, "na"),
+    "us-ciso-sept": (CISO_SEPTEMBER, 1.5, 8.0, "na"),
+    "uk-eso": (ESO_MARCH, 1.4, 18.0, "eu"),
+    "nordic-hydro": (NORDIC_HYDRO, 1.1, 28.0, "eu"),
+    "apac-solar": (APAC_COAL_SOLAR, 1.6, 35.0, "apac"),
 }
 
 #: Deterministic trace seed for registry regions without an embedded trace.
-_SYNTH_SEEDS = {"nordic-hydro": 20210322}
+_SYNTH_SEEDS = {"nordic-hydro": 20210322, "apac-solar": 20230115}
 
 REGION_NAMES = tuple(sorted(_REGION_SPECS))
 
@@ -106,7 +115,7 @@ def region_by_name(name: str, n_gpus: int = PAPER_N_GPUS) -> Region:
     """Build a registry region (``"us-ciso"``, ``"uk-eso"``, ...)."""
     key = name.lower()
     try:
-        profile, pue, latency = _REGION_SPECS[key]
+        profile, pue, latency, zone = _REGION_SPECS[key]
     except KeyError:
         valid = ", ".join(REGION_NAMES)
         raise KeyError(f"unknown region {name!r}; valid: {valid}") from None
@@ -117,7 +126,8 @@ def region_by_name(name: str, n_gpus: int = PAPER_N_GPUS) -> Region:
             profile, days=2.0, step_h=1.0, rng=_SYNTH_SEEDS[key]
         )
     return Region(
-        name=key, trace=trace, pue=pue, net_latency_ms=latency, n_gpus=n_gpus
+        name=key, trace=trace, pue=pue, net_latency_ms=latency, n_gpus=n_gpus,
+        zone=zone,
     )
 
 
@@ -137,6 +147,7 @@ def make_region(
     pue: float = DEFAULT_PUE,
     net_latency_ms: float = 0.0,
     n_gpus: int = PAPER_N_GPUS,
+    zone: str = "na",
 ) -> Region:
     """Build a custom region from a grid profile (deterministic trace)."""
     trace = generate_trace(profile, days=days, step_h=1.0, rng=seed)
@@ -146,4 +157,5 @@ def make_region(
         pue=pue,
         net_latency_ms=net_latency_ms,
         n_gpus=n_gpus,
+        zone=zone,
     )

@@ -21,6 +21,18 @@ Three policies, per the paper-adjacent systems (EcoServe, CarbonEdge):
   deployed configuration's estimated p95 plus the region's network latency
   still meets the SLA).  Every region keeps a small floor share —
   geo-resident traffic that cannot be shifted.
+* **forecast-aware** — like carbon-greedy, but ranks regions on a blend of
+  the *current* and the *forecast* effective intensity a lookahead horizon
+  ahead.  Under per-epoch ramp limits (traffic shifts cost migrations, so a
+  region's share may move only so fast) this pre-positions load before a
+  predicted solar trough instead of chasing it after the fact.  A regret
+  guard tracks matured forecasts against the observed intensities and
+  decays the forecast weight toward myopic greedy when predictions go bad.
+
+Ramp limits live in the :class:`RoutingContext` (``prev_shares`` +
+``max_ramp_share``) and bind every policy equally; without them (the
+default) each epoch's split is unconstrained, which is exactly the PR-1
+behaviour.
 """
 
 from __future__ import annotations
@@ -36,6 +48,8 @@ __all__ = [
     "StaticRouter",
     "LatencyAwareRouter",
     "CarbonGreedyRouter",
+    "ForecastAwareRouter",
+    "plan_origin_cells",
     "ROUTER_NAMES",
     "make_router",
 ]
@@ -49,6 +63,19 @@ class RoutingContext:
     holds the highest per-region rate at which the *deployed* configuration
     is expected to meet the SLA after adding the region's network latency
     (``inf`` before the first deployment).
+
+    The optional fields extend the PR-1 context for forecast-driven and
+    ramp-limited routing; their defaults reproduce the original semantics
+    exactly.  ``forecast_ci`` is each region's predicted *mean* grid
+    intensity over the window ``(t_h, t_h + lookahead_h]`` (``None`` when
+    the coordinator provisioned no forecasters); ``prev_shares`` is last
+    epoch's realized split; ``max_ramp_share`` bounds how much share a
+    region may *gain* per epoch and ``max_drain_share`` how much it may
+    *lose* (1.0 = unconstrained — shifting is free).  The two are
+    asymmetric on purpose: admitting new traffic is a DNS/admission flip,
+    but shedding resident traffic waits for sessions to drain — which is
+    what makes diving into a briefly-clean region a trap worth forecasting
+    around.
     """
 
     t_h: float
@@ -60,6 +87,32 @@ class RoutingContext:
     capacity_rates: np.ndarray
     sla_cap_rates: np.ndarray
     floor_rates: np.ndarray
+    forecast_ci: np.ndarray | None = None
+    lookahead_h: float = 0.0
+    prev_shares: np.ndarray | None = None
+    max_ramp_share: float = 1.0
+    max_drain_share: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_ramp_share <= 1.0:
+            raise ValueError(
+                f"ramp share must be in (0, 1], got {self.max_ramp_share}"
+            )
+        if self.max_drain_share is not None and not (
+            0.0 < self.max_drain_share <= 1.0
+        ):
+            raise ValueError(
+                f"drain share must be in (0, 1], got {self.max_drain_share}"
+            )
+
+    @property
+    def drain_share(self) -> float:
+        """The effective per-epoch share-loss bound.
+
+        ``None`` means unconstrained (1.0) — matching the coordinator's
+        documented "no drain limit" default — not "same as the ramp".
+        """
+        return 1.0 if self.max_drain_share is None else self.max_drain_share
 
     @property
     def n_regions(self) -> int:
@@ -70,6 +123,13 @@ class RoutingContext:
         """Grid intensity scaled by PUE: the true gCO2/kWh of IT energy."""
         return self.ci * self.pue
 
+    @property
+    def effective_forecast_ci(self) -> np.ndarray | None:
+        """Forecast intensity scaled by PUE (``None`` without forecasts)."""
+        if self.forecast_ci is None:
+            return None
+        return self.forecast_ci * self.pue
+
 
 class Router(ABC):
     """A per-epoch traffic splitting policy.
@@ -78,15 +138,37 @@ class Router(ABC):
     traffic has no defined service measurement, so "drained" regions keep
     a floor share instead (see :class:`CarbonGreedyRouter`).  Policies
     that consult ``ctx.sla_cap_rates`` must set ``needs_sla_caps`` so the
-    coordinator knows to run the (bisection-priced) SLA probes.
+    coordinator knows to run the (bisection-priced) SLA probes; policies
+    that consult ``ctx.forecast_ci`` must set ``needs_forecast`` so the
+    coordinator provisions per-region forecasters.
     """
 
     name: str = "router"
     needs_sla_caps = False
+    needs_forecast = False
 
     @abstractmethod
     def split(self, ctx: RoutingContext) -> np.ndarray:
         """Return per-region shares of the global rate (positive, sum 1)."""
+
+    def region_order(self, ctx: RoutingContext) -> np.ndarray | None:
+        """The policy's region preference for cell-level (demand) planning.
+
+        Demand-mode fleets route (origin, region) *cells* through
+        :func:`plan_origin_cells`, which needs only the policy's region
+        ordering; ``None`` means "no preference" (the static geo-DNS split
+        keeps its proportional shares and stays pair-blind — it is the
+        baseline the pair-aware policies are measured against).
+        """
+        return None
+
+    def reset(self) -> None:
+        """Clear any cross-epoch state before a fresh run (no-op default).
+
+        The coordinator calls this at the start of every run so a router
+        instance can be reused across runs (and fleets) without leaking
+        pending forecasts or regret statistics between them.
+        """
 
     def rates(self, ctx: RoutingContext) -> np.ndarray:
         """Convenience: the per-region arrival rates this epoch."""
@@ -123,18 +205,54 @@ class StaticRouter(Router):
         return w / w.sum()
 
 
+def _ramp_up_caps(ctx: RoutingContext, caps: np.ndarray) -> np.ndarray:
+    """Clamp per-region caps by the admission ramp: a region may gain at
+    most ``max_ramp_share`` of the global rate over its previous share
+    per epoch (no-op without history or with an unconstrained ramp)."""
+    if ctx.prev_shares is not None and ctx.max_ramp_share < 1.0:
+        caps = np.minimum(
+            caps,
+            (ctx.prev_shares + ctx.max_ramp_share) * ctx.global_rate_per_s,
+        )
+    return caps
+
+
+def _ramp_envelope(ctx: RoutingContext) -> tuple[np.ndarray, np.ndarray]:
+    """Per-region (floors, caps) honoring the context's ramp limits.
+
+    Without ``prev_shares`` (or with an unconstrained ramp) this is exactly
+    the PR-1 envelope: floors from the un-shiftable geo-resident traffic,
+    caps from capacity and SLA.  With a ramp, each region's rate is further
+    boxed into ``(prev_share ± max_ramp_share) * global_rate`` — traffic
+    shifts cost connection draining and cache warm-up, so share moves only
+    so fast per epoch.  Floors beat SLA caps (resident traffic cannot
+    leave) and a floor sum exceeding the global rate — demand crashing
+    faster than regions may drain — is scaled back proportionally.
+    """
+    floors = np.minimum(ctx.floor_rates, ctx.capacity_rates).astype(np.float64)
+    caps = _ramp_up_caps(ctx, np.minimum(ctx.capacity_rates, ctx.sla_cap_rates))
+    if ctx.prev_shares is not None and ctx.drain_share < 1.0:
+        lo = (ctx.prev_shares - ctx.drain_share) * ctx.global_rate_per_s
+        floors = np.maximum(floors, np.minimum(lo, ctx.capacity_rates))
+    total_floor = float(floors.sum())
+    if total_floor > ctx.global_rate_per_s:
+        floors = floors * (ctx.global_rate_per_s / total_floor)
+    return floors, caps
+
+
 def _water_fill(ctx: RoutingContext, order: np.ndarray) -> np.ndarray:
     """Fill regions in ``order`` up to their caps, floors guaranteed first.
 
     Returns per-region *rates* summing to the global rate.  If the ordered
-    caps cannot absorb everything (SLA caps too tight), the remainder spills
-    proportionally to remaining *capacity* headroom; if even capacity is
-    exhausted, proportionally to nominal rates — conservation always wins
-    over caps, and the overloaded epochs show up in the DES measurements.
+    caps cannot absorb everything (SLA or ramp caps too tight), the
+    remainder spills proportionally to remaining *capacity* headroom; if
+    even capacity is exhausted, proportionally to nominal rates —
+    conservation always wins over caps, and the overloaded epochs show up
+    in the DES measurements.
     """
-    rates = np.minimum(ctx.floor_rates, ctx.capacity_rates).astype(np.float64)
+    floors, caps = _ramp_envelope(ctx)
+    rates = floors.copy()
     remaining = ctx.global_rate_per_s - float(rates.sum())
-    caps = np.minimum(ctx.capacity_rates, ctx.sla_cap_rates)
     for idx in order:
         if remaining <= 0.0:
             break
@@ -155,9 +273,11 @@ class LatencyAwareRouter(Router):
 
     name: str = field(default="latency", init=False)
 
+    def region_order(self, ctx: RoutingContext) -> np.ndarray:
+        return np.argsort(ctx.net_latency_ms, kind="stable")
+
     def split(self, ctx: RoutingContext) -> np.ndarray:
-        order = np.argsort(ctx.net_latency_ms, kind="stable")
-        return _water_fill(ctx, order) / ctx.global_rate_per_s
+        return _water_fill(ctx, self.region_order(ctx)) / ctx.global_rate_per_s
 
 
 @dataclass
@@ -174,20 +294,329 @@ class CarbonGreedyRouter(Router):
     name: str = field(default="carbon-greedy", init=False)
     needs_sla_caps = True
 
+    def region_order(self, ctx: RoutingContext) -> np.ndarray:
+        return np.argsort(ctx.effective_ci, kind="stable")
+
     def split(self, ctx: RoutingContext) -> np.ndarray:
-        order = np.argsort(ctx.effective_ci, kind="stable")
-        return _water_fill(ctx, order) / ctx.global_rate_per_s
+        return _water_fill(ctx, self.region_order(ctx)) / ctx.global_rate_per_s
 
 
-ROUTER_NAMES = ("static", "latency", "carbon-greedy")
+@dataclass
+class ForecastAwareRouter(Router):
+    """Cleanest-*window* water-fill: rank on blended current + forecast ci.
+
+    The forecast term is the *mean* predicted effective intensity over the
+    next ``lookahead_h`` hours — not the point value at the horizon's end.
+    Under ramp limits a region's share can only move a few percent per
+    epoch, so traffic placed now is effectively committed for the next
+    several hours; the window mean is the intensity that commitment will
+    actually be charged at.  (A point forecast at ``t + H`` fails
+    subtly: with ``H`` comparable to a solar trough's width it starts
+    draining the trough region mid-trough, and its pre-shift gains cancel
+    against its early exits — measured, not hypothetical.)
+
+    The score each region is ordered by is
+    ``(1 - w) * effective_ci(now) + w * mean effective_ci(t .. t+H)``.
+    Myopically (``w = 0``) this is :class:`CarbonGreedyRouter`; at ``w = 1``
+    it positions purely for the coming window.  The blend is what lets the
+    fleet start walking share toward a region hours before its solar
+    trough — the pre-shift the ROADMAP calls proactive routing.
+
+    The **regret guard** makes the forecast earn its weight: every split
+    files the prediction it acted on, and when the lookahead horizon
+    matures the prediction is scored against the observed intensity.  The
+    running relative MAE above ``regret_threshold`` decays the blend
+    weight proportionally (a forecaster twice as bad as tolerated gets
+    half the trust), so a broken forecaster degrades the policy gracefully
+    toward myopic carbon-greedy instead of routing on fiction.
+    """
+
+    lookahead_h: float = 6.0
+    blend: float = 0.6
+    regret_threshold: float = 0.25
+    regret_memory: float = 0.9
+    name: str = field(default="forecast-aware", init=False)
+    needs_sla_caps = True
+    needs_forecast = True
+    _pending: list[tuple[float, np.ndarray]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _observed: list[tuple[float, np.ndarray]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _err_ewma: float = field(default=0.0, init=False, repr=False)
+    _ref_ewma: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lookahead_h < 0:
+            raise ValueError(f"lookahead must be non-negative, got {self.lookahead_h}")
+        if not 0.0 <= self.blend <= 1.0:
+            raise ValueError(f"blend must be in [0, 1], got {self.blend}")
+        if self.regret_threshold <= 0:
+            raise ValueError(
+                f"regret threshold must be positive, got {self.regret_threshold}"
+            )
+        if not 0.0 <= self.regret_memory < 1.0:
+            raise ValueError(
+                f"regret memory must be in [0, 1), got {self.regret_memory}"
+            )
+
+    @property
+    def forecast_weight(self) -> float:
+        """The blend weight after the regret guard's discount."""
+        if self._ref_ewma <= 0.0:
+            return self.blend
+        rel_mae = self._err_ewma / self._ref_ewma
+        if rel_mae <= self.regret_threshold:
+            return self.blend
+        return self.blend * (self.regret_threshold / rel_mae)
+
+    def reset(self) -> None:
+        self._pending = []
+        self._observed = []
+        self._err_ewma = 0.0
+        self._ref_ewma = 0.0
+
+    def _settle_matured(self, ctx: RoutingContext) -> None:
+        """Score window predictions whose windows have fully elapsed.
+
+        A prediction filed at ``t`` claimed the mean intensity over
+        ``(t, t + lookahead]``; once ``t + lookahead`` arrives, the claim is
+        compared against the mean of the intensities actually observed over
+        that window (the router sees every epoch's ``ctx.ci``, so the
+        realized mean is just bookkeeping).
+        """
+        self._observed.append((ctx.t_h, np.array(ctx.ci, dtype=np.float64)))
+        horizon = max(ctx.lookahead_h, self.lookahead_h)
+        self._observed = [
+            o for o in self._observed if o[0] >= ctx.t_h - horizon - 1e-9
+        ]
+        matured = [p for p in self._pending if p[0] <= ctx.t_h + 1e-9]
+        if not matured:
+            return
+        self._pending = [p for p in self._pending if p[0] > ctx.t_h + 1e-9]
+        for target_t, predicted in matured:
+            # The prediction covered (filing time, filing time + horizon];
+            # exclude the filing-time observation itself or a trending
+            # signal penalizes even a perfect forecaster.
+            window = [
+                ci
+                for t, ci in self._observed
+                if target_t - horizon + 1e-9 < t <= target_t + 1e-9
+            ]
+            if not window:
+                # Sub-epoch lookahead: no observation falls strictly
+                # inside the window.  Score against the current reading so
+                # the guard still learns instead of going silently inert.
+                window = [np.array(ctx.ci, dtype=np.float64)]
+            realized = np.mean(window, axis=0)
+            err = float(np.mean(np.abs(predicted - realized)))
+            ref = float(np.mean(realized))
+            m = self.regret_memory
+            self._err_ewma = m * self._err_ewma + (1.0 - m) * err
+            self._ref_ewma = m * self._ref_ewma + (1.0 - m) * ref
+
+    def _score(self, ctx: RoutingContext) -> np.ndarray:
+        """Blended ranking score; also advances the regret bookkeeping.
+
+        Called exactly once per epoch (by either :meth:`split` or
+        :meth:`region_order`) — it settles matured predictions and files
+        the one this epoch acts on.
+        """
+        self._settle_matured(ctx)
+        forecast = ctx.effective_forecast_ci
+        if forecast is None:
+            # No forecasters provisioned: degrade to myopic carbon-greedy.
+            return ctx.effective_ci
+        w = self.forecast_weight
+        self._pending.append(
+            (ctx.t_h + ctx.lookahead_h, np.array(ctx.forecast_ci, dtype=np.float64))
+        )
+        return (1.0 - w) * ctx.effective_ci + w * forecast
+
+    def region_order(self, ctx: RoutingContext) -> np.ndarray:
+        return np.argsort(self._score(ctx), kind="stable")
+
+    def split(self, ctx: RoutingContext) -> np.ndarray:
+        return _water_fill(ctx, self.region_order(ctx)) / ctx.global_rate_per_s
+
+
+def plan_origin_cells(
+    ctx: RoutingContext,
+    order: np.ndarray,
+    origin_rates: np.ndarray,
+    latency_ms: np.ndarray,
+    user_targets_ms: np.ndarray,
+    sla_rate_fn,
+    measured_p95_ms: np.ndarray | None = None,
+    prev_plan: np.ndarray | None = None,
+    session_keep_frac: float = 0.0,
+    resident_floor_share: float = 0.0,
+) -> np.ndarray:
+    """Pair-aware greedy fill over (origin, region) cells.
+
+    The demand-mode replacement for :func:`_water_fill`: instead of
+    splitting one scalar rate across regions and mapping origins on
+    afterwards, traffic is placed cell by cell so the SLA is charged per
+    (origin, serving-region) pair *while routing*, not just when judged.
+
+    Serving origin ``o`` at region ``r`` leaves the service a latency
+    budget of ``user_targets_ms[r] - latency_ms[o, r]``; because one queue
+    serves everyone, a region's admissible total rate is governed by the
+    *tightest* budget among the origins it serves —
+    ``sla_rate_fn(r, budget)`` (a bisection against the deployed
+    configuration's p95) prices that.  Cells are visited in the policy's
+    region ``order``, nearest origins first within a region, so a region
+    takes cheap traffic before far traffic that would throttle it.
+
+    ``measured_p95_ms`` (the previous epoch's DES measurement per region,
+    when available) double-checks the analytic bisection: a cell is only
+    filled if the *measured* service tail also fits its budget — the
+    analytic estimator can flatter a freshly-booted configuration by a
+    few milliseconds, exactly enough to park far-origin traffic on the
+    wrong side of its SLA.
+
+    Three kinds of pinned traffic precede the policy fill:
+
+    * **session retention** — ``session_keep_frac`` of each cell of
+      ``prev_plan`` (scaled down with its origin's demand) stays where it
+      is: resident sessions drain, they do not teleport.  This is the
+      asymmetry that makes chasing a briefly-clean grid a trap — you can
+      admit traffic into it instantly, but you leave at drain speed.
+    * **data residency** — ``resident_floor_share`` of each origin's rate
+      is pinned to the origin's nearest region.
+    * **ramp-up caps** — a region may gain at most
+      ``ctx.max_ramp_share`` of the global rate over its previous share
+      per epoch (admission warm-up), via ``ctx.prev_shares``.
+
+    Leftover supply that no SLA budget can absorb spills to capacity
+    headroom in latency order (conservation beats caps, as in
+    :func:`_water_fill`); if even capacity is exhausted the residue lands
+    proportionally to nominal rates and the overload shows up in the DES
+    measurements.
+
+    Returns the (origin x region) rate plan; row sums equal
+    ``origin_rates`` and the grand total the global rate.
+    """
+    n_o, n_r = latency_ms.shape
+    supply = np.asarray(origin_rates, dtype=np.float64).copy()
+    plan = np.zeros((n_o, n_r))
+    totals = np.zeros(n_r)
+    caps = _ramp_up_caps(ctx, np.minimum(ctx.capacity_rates, ctx.sla_cap_rates))
+    # The tightest service budget each region has committed to so far.
+    # Only *meetable* budgets tighten it: a cell whose hop alone exceeds
+    # the target violates at any rate — it is lost regardless of the
+    # region's total, so it must not throttle the region's other streams.
+    budgets = np.full(n_r, np.inf)
+
+    def place(o: int, r: int, amount: float) -> float:
+        take = min(supply[o], amount)
+        if take <= 0.0:
+            return 0.0
+        plan[o, r] += take
+        supply[o] -= take
+        totals[r] += take
+        pair_budget = user_targets_ms[r] - latency_ms[o, r]
+        if pair_budget > 0.0:
+            budgets[r] = min(budgets[r], pair_budget)
+        return take
+
+    # 1. Session retention: prior cells persist, scaled down with their
+    # origin's demand (sessions end, they don't multiply), keep-fraction
+    # bounded by how fast resident traffic can be drained away.  Cells
+    # below a de-minimis share of their origin's demand are dropped —
+    # otherwise a geometrically-decaying residue keeps a far cell alive
+    # (and its tight budget throttling the region) for the whole run.
+    if prev_plan is not None and session_keep_frac > 0.0:
+        prev_rows = prev_plan.sum(axis=1)
+        ratio = np.where(
+            prev_rows > 0.0,
+            np.minimum(1.0, supply / np.maximum(prev_rows, 1e-300)),
+            0.0,
+        )
+        keep = prev_plan * ratio[:, None] * session_keep_frac
+        tiny = 1e-3 * np.asarray(origin_rates, dtype=np.float64)
+        for o in range(n_o):
+            for r in range(n_r):
+                if keep[o, r] > tiny[o]:
+                    place(o, r, float(keep[o, r]))
+
+    # 2. Data residency: a floor share of each origin stays at its
+    # nearest region, whatever the policy prefers.
+    if resident_floor_share > 0.0:
+        homes = np.argmin(latency_ms, axis=1)
+        for o in range(n_o):
+            floor = resident_floor_share * float(origin_rates[o])
+            short = floor - plan[o, homes[o]]
+            if short > 0.0:
+                place(o, int(homes[o]), short)
+
+    # 2b. Keep-alive floors: a region that is nobody's home (two regions
+    # in one zone) could otherwise be planned to exactly zero on the
+    # first epoch, and a zero-rate region has no defined service
+    # measurement.  Draw up to the context's per-region floor from the
+    # nearest origins — nearest-first keeps the draw SLA-cheap.
+    keep_alive = np.minimum(ctx.floor_rates, ctx.capacity_rates)
+    for r in range(n_r):
+        shortfall = float(keep_alive[r]) - totals[r]
+        for o in np.argsort(latency_ms[:, r], kind="stable"):
+            if shortfall <= 0.0:
+                break
+            shortfall -= place(int(o), r, shortfall)
+
+    # 3. Policy fill: regions in preference order, near origins first.
+    for r in order:
+        for o in np.argsort(latency_ms[:, r], kind="stable"):
+            o = int(o)
+            if supply[o] <= 0.0:
+                continue
+            budget = min(budgets[r], user_targets_ms[r] - latency_ms[o, r])
+            if budget <= 0.0:
+                continue  # this pair can never meet the SLA
+            if (
+                measured_p95_ms is not None
+                and np.isfinite(measured_p95_ms[r])
+                and measured_p95_ms[r] > budget
+            ):
+                continue  # the measured tail already blows this budget
+            cap = min(caps[r], sla_rate_fn(r, float(budget)))
+            room = cap - totals[r]
+            if room <= 0.0:
+                continue
+            place(o, r, room)
+
+    # 4. Conservation spill: capacity headroom in latency order, then
+    # proportional to nominal rates.
+    if supply.sum() > 1e-12:
+        for o in range(n_o):
+            for r in np.argsort(latency_ms[o], kind="stable"):
+                if supply[o] <= 0.0:
+                    break
+                room = ctx.capacity_rates[r] - totals[r]
+                if room > 0.0:
+                    place(o, int(r), room)
+    leftover = float(supply.sum())
+    if leftover > 1e-12:
+        basis = ctx.nominal_rates / ctx.nominal_rates.sum()
+        for o in range(n_o):
+            if supply[o] > 0.0:
+                amount = supply[o]
+                plan[o] += amount * basis
+                totals += amount * basis
+                supply[o] = 0.0
+    return plan
+
+
+ROUTER_NAMES = ("static", "latency", "carbon-greedy", "forecast-aware")
 
 
 def make_router(name: str, **kwargs) -> Router:
-    """Factory by policy name (``"static"``, ``"latency"``, ``"carbon-greedy"``)."""
+    """Factory by policy name (one of :data:`ROUTER_NAMES`)."""
     classes = {
         "static": StaticRouter,
         "latency": LatencyAwareRouter,
         "carbon-greedy": CarbonGreedyRouter,
+        "forecast-aware": ForecastAwareRouter,
     }
     try:
         cls = classes[name.lower()]

@@ -5,11 +5,20 @@ that the BASE deployment (largest variant, unpartitioned GPUs) runs with
 "neither resource starvation nor idle GPUs".  :func:`default_rate` encodes
 that sizing rule: a target utilization of the BASE configuration's aggregate
 service capacity.
+
+Real demand is not stationary — users sleep, and the geo-diurnal demand
+layer (:mod:`repro.demand`) produces time-varying rates.
+:class:`NonstationaryPoissonWorkload` samples such a process by *thinning*
+(Lewis & Shedler): draw a homogeneous Poisson process at an envelope rate
+``max_rate_per_s`` and keep each arrival at time ``t`` with probability
+``rate(t) / max_rate_per_s``.  The kept points are exactly a nonhomogeneous
+Poisson process with intensity ``rate(t)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -18,7 +27,12 @@ from repro.models.families import ModelFamily
 from repro.models.perf import PerfModel
 from repro.utils.rng import as_generator
 
-__all__ = ["PoissonWorkload", "default_rate", "DEFAULT_BASE_UTILIZATION"]
+__all__ = [
+    "PoissonWorkload",
+    "NonstationaryPoissonWorkload",
+    "default_rate",
+    "DEFAULT_BASE_UTILIZATION",
+]
 
 #: Sizing target for the BASE deployment: busy but not saturated.
 DEFAULT_BASE_UTILIZATION = 0.65
@@ -68,6 +82,74 @@ class PoissonWorkload:
     def expected_requests(self, duration_s: float) -> float:
         """Mean number of arrivals in a window of ``duration_s`` seconds."""
         return self.rate_per_s * duration_s
+
+
+@dataclass(frozen=True)
+class NonstationaryPoissonWorkload:
+    """Time-varying arrival process sampled by thinning.
+
+    Attributes
+    ----------
+    rate_fn:
+        Instantaneous arrival rate (req/s) as a function of time in
+        *seconds* since the window start.  Must stay within
+        ``(0, max_rate_per_s]`` over any sampled window.
+    max_rate_per_s:
+        The thinning envelope.  A tight envelope wastes fewer candidate
+        draws; a rate above the envelope is a correctness error and raises.
+    """
+
+    rate_fn: Callable[[float], float]
+    max_rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_rate_per_s <= 0:
+            raise ValueError(
+                f"envelope rate must be positive, got {self.max_rate_per_s}"
+            )
+
+    def arrivals(
+        self, duration_s: float, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Sample the arrival times within ``[0, duration_s)``, sorted.
+
+        Thinning: homogeneous candidates at ``max_rate_per_s``, each kept
+        with probability ``rate_fn(t) / max_rate_per_s``.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        gen = as_generator(rng)
+        candidates = PoissonWorkload(self.max_rate_per_s).arrivals(
+            duration_s, gen
+        )
+        if candidates.size == 0:
+            return candidates
+        rates = np.array([self.rate_fn(float(t)) for t in candidates])
+        if np.any(rates > self.max_rate_per_s * (1.0 + 1e-9)):
+            raise ValueError(
+                f"rate_fn exceeds the thinning envelope {self.max_rate_per_s:g} "
+                f"(max observed {rates.max():g}) — thinning would under-sample"
+            )
+        if np.any(rates < 0):
+            raise ValueError("rate_fn must be non-negative everywhere")
+        keep = gen.uniform(size=candidates.size) < rates / self.max_rate_per_s
+        return candidates[keep]
+
+    def expected_requests(self, duration_s: float, step_s: float = 60.0) -> float:
+        """Mean arrivals in the window: the integral of the rate function.
+
+        Trapezoidal quadrature at ``step_s`` resolution — exact for the
+        piecewise-linear rates the demand layer produces at epoch scale.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        if step_s <= 0:
+            raise ValueError(f"step must be positive, got {step_s}")
+        if duration_s == 0:
+            return 0.0
+        t = np.linspace(0.0, duration_s, max(2, int(np.ceil(duration_s / step_s)) + 1))
+        rates = np.array([self.rate_fn(float(s)) for s in t])
+        return float(np.trapezoid(rates, t))
 
 
 def default_rate(

@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.experiments import (
+    demand_routing,
     fig2_mixed_quality,
     fig3_partitioning,
     fig4_intensity_variation,
@@ -127,3 +128,39 @@ class TestFig6:
         _, rows = fig6_selection_example().table()
         cells = {row[5] for row in rows}
         assert {"4.4", "2.2", "6.0", "7.0"} <= cells
+
+
+class TestDemandRouting:
+    """A short smoke-sized run of the demand experiment; the full 48 h
+    acceptance ordering is pinned in tests/fleet/test_demand_fleet.py and
+    benchmarks/bench_demand_routing.py."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return demand_routing(
+            fidelity="smoke", seed=0, n_gpus=2, duration_h=24.0
+        )
+
+    def test_static_is_the_zero_of_the_save_column(self, result):
+        assert result.carbon_save_vs_static_pct["static"] == pytest.approx(0.0)
+
+    def test_carbon_routers_save_vs_static(self, result):
+        assert result.carbon_save_vs_static_pct["carbon-greedy"] > 0.0
+        assert result.carbon_save_vs_static_pct["forecast-aware"] > 0.0
+
+    def test_origin_shares_cover_the_world(self, result):
+        assert set(result.origin_names) == set(result.origin_shares)
+        assert sum(result.origin_shares.values()) == pytest.approx(1.0)
+
+    def test_table_renders_one_row_per_router(self, result):
+        headers, rows = result.table()
+        assert len(rows) == len(result.routers)
+        assert "UserSLA%" in headers
+        assert len(headers) == len(rows[0])
+
+    def test_static_router_required(self):
+        with pytest.raises(ValueError, match="static"):
+            demand_routing(
+                fidelity="smoke", n_gpus=2, duration_h=24.0,
+                routers=("carbon-greedy",),
+            )

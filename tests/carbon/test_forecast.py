@@ -5,8 +5,10 @@ import pytest
 
 from repro.carbon.forecast import (
     DiurnalForecaster,
+    FORECASTER_NAMES,
     PersistenceForecaster,
     forecast_mae,
+    make_forecaster,
 )
 from repro.carbon.generator import CISO_MARCH, generate_trace
 from repro.carbon.intensity import CarbonIntensityTrace
@@ -66,6 +68,50 @@ class TestDiurnal:
     def test_bad_halflife_rejected(self, solar_trace):
         with pytest.raises(ValueError):
             DiurnalForecaster(solar_trace, anomaly_halflife_h=0.0)
+
+    def test_midnight_wraparound(self, solar_trace):
+        """A horizon crossing midnight reads the next day's early-morning
+        climatology bin, not an out-of-range index."""
+        d = DiurnalForecaster(solar_trace)
+        crossing = d.predict(71.0, 3.0)  # 23:00 + 3 h → 02:00 next day
+        profile = d._climatology(71.0)
+        anchor = profile[2]  # the 02:00 bin
+        # The prediction is the 02:00 climatology plus a decayed anomaly.
+        anomaly = float(solar_trace.at(71.0)) - profile[23]
+        decay = 0.5 ** (3.0 / d.anomaly_halflife_h)
+        assert crossing == pytest.approx(anchor + decay * anomaly)
+
+    def test_zero_horizon_is_exactly_now(self, solar_trace):
+        """At horizon zero the anomaly term cancels the climatology: the
+        forecast is the current observation, exactly."""
+        d = DiurnalForecaster(solar_trace)
+        for t in (26.0, 40.0, 55.5):
+            assert d.predict(t, 0.0) == pytest.approx(
+                float(solar_trace.at(t)), rel=1e-12
+            )
+
+    def test_short_history_falls_back_to_persistence(self, solar_trace):
+        """With a single sample of history (a run's first epoch) there is
+        no climatology — the forecast degrades to persistence instead of
+        raising."""
+        d = DiurnalForecaster(solar_trace)
+        t = 0.5  # only the t=0 sample is at or before the query
+        assert d.predict(t, 6.0) == pytest.approx(float(solar_trace.at(t)))
+
+
+class TestFactory:
+    def test_all_names_construct(self, solar_trace):
+        for name in FORECASTER_NAMES:
+            f = make_forecaster(name, solar_trace)
+            assert f.predict(30.0, 1.0) > 0.0
+
+    def test_kwargs_forwarded(self, solar_trace):
+        f = make_forecaster("diurnal", solar_trace, anomaly_halflife_h=2.0)
+        assert f.anomaly_halflife_h == 2.0
+
+    def test_unknown_name_raises(self, solar_trace):
+        with pytest.raises(ValueError, match="valid"):
+            make_forecaster("crystal-ball", solar_trace)
 
 
 class TestForecastMae:

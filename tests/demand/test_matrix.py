@@ -1,0 +1,145 @@
+"""Origin→region latency matrix and the min-latency transport."""
+
+import numpy as np
+import pytest
+
+from repro.demand.matrix import (
+    LatencyMatrix,
+    assign_origin_traffic,
+    default_latency_matrix,
+    zone_latency_ms,
+)
+from repro.demand.origins import default_origins
+
+
+class FakeRegion:
+    def __init__(self, name, zone):
+        self.name = name
+        self.zone = zone
+
+
+REGIONS = (
+    FakeRegion("r-na", "na"),
+    FakeRegion("r-eu", "eu"),
+    FakeRegion("r-apac", "apac"),
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return default_latency_matrix(default_origins(), REGIONS)
+
+
+class TestZonePrices:
+    def test_symmetric(self):
+        assert zone_latency_ms("na", "eu") == zone_latency_ms("eu", "na")
+
+    def test_intra_zone_cheapest(self):
+        for z in ("na", "eu", "apac"):
+            intra = zone_latency_ms(z, z)
+            for other in ("na", "eu", "apac"):
+                if other != z:
+                    assert intra < zone_latency_ms(z, other)
+
+    def test_unknown_zone_raises(self):
+        with pytest.raises(KeyError):
+            zone_latency_ms("na", "atlantis")
+
+
+class TestLatencyMatrix:
+    def test_shape_and_lookup(self, matrix):
+        assert matrix.latency_ms.shape == (3, 3)
+        assert matrix.latency("europe", "r-eu") == zone_latency_ms("eu", "eu")
+        assert matrix.latency("asia-pacific", "r-na") == zone_latency_ms(
+            "apac", "na"
+        )
+
+    def test_home_region_is_nearest(self, matrix):
+        """Each origin's cheapest column is its own zone's region."""
+        for i, origin in enumerate(default_origins()):
+            nearest = int(np.argmin(matrix.latency_ms[i]))
+            assert REGIONS[nearest].zone == origin.zone
+
+    def test_unknown_names_raise(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.latency("mars", "r-na")
+        with pytest.raises(KeyError):
+            matrix.latency("europe", "r-mars")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            LatencyMatrix(("a",), ("x", "y"), np.zeros((2, 2)))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LatencyMatrix(("a",), ("x",), np.array([[-1.0]]))
+
+    def test_weighted_region_latency(self, matrix):
+        w = np.array([1.0, 0.0, 0.0])  # all demand from north-america
+        lat = matrix.weighted_region_latency(w)
+        assert lat == pytest.approx(matrix.latency_ms[0])
+
+    def test_nearest_origin_latency_is_column_min(self, matrix):
+        assert matrix.nearest_origin_latency() == pytest.approx(
+            matrix.latency_ms.min(axis=0)
+        )
+
+
+class TestAssignOriginTraffic:
+    def test_conserves_rows_and_columns(self, matrix):
+        supply = np.array([30.0, 25.0, 45.0])
+        demand = np.array([40.0, 40.0, 20.0])
+        plan = assign_origin_traffic(supply, demand, matrix.latency_ms)
+        np.testing.assert_allclose(plan.sum(axis=1), supply, rtol=1e-9)
+        np.testing.assert_allclose(plan.sum(axis=0), demand, rtol=1e-9)
+        assert (plan >= 0.0).all()
+
+    def test_prefers_home_regions(self, matrix):
+        """When every origin's home region has exactly its demand as
+        quota, the plan serves everyone at home."""
+        homes = np.argmin(matrix.latency_ms, axis=1)
+        assert len(set(homes)) == 3  # each origin has its own home region
+        supply = np.array([30.0, 25.0, 45.0])
+        demand = np.zeros(3)
+        for o, h in enumerate(homes):
+            demand[h] += supply[o]
+        plan = assign_origin_traffic(supply, demand, matrix.latency_ms)
+        for o, h in enumerate(homes):
+            assert plan[o, h] == pytest.approx(supply[o])
+
+    def test_overflow_goes_to_next_cheapest(self, matrix):
+        """An origin's overflow beyond its home quota ships to its
+        second-nearest region, never the farthest one with room nearer."""
+        apac = next(
+            i for i, o in enumerate(default_origins()) if o.zone == "apac"
+        )
+        homes = np.argmin(matrix.latency_ms, axis=1)
+        second = int(np.argsort(matrix.latency_ms[apac])[1])
+        farthest = int(np.argsort(matrix.latency_ms[apac])[2])
+        supply = np.array([10.0, 10.0, 10.0])
+        supply[apac] = 50.0
+        demand = np.zeros(3)
+        for o, h in enumerate(homes):
+            demand[h] += supply[o]
+        # Cut the APAC home quota by 25 and move that room second-nearest.
+        demand[homes[apac]] -= 25.0
+        demand[second] += 25.0
+        plan = assign_origin_traffic(supply, demand, matrix.latency_ms)
+        assert plan[apac, second] == pytest.approx(25.0)
+        assert plan[apac, farthest] == pytest.approx(0.0)
+
+    def test_mismatched_totals_rejected(self, matrix):
+        with pytest.raises(ValueError, match="supply"):
+            assign_origin_traffic(
+                np.array([1.0, 1.0, 1.0]),
+                np.array([5.0, 5.0, 5.0]),
+                matrix.latency_ms,
+            )
+
+    def test_negative_rates_rejected(self, matrix):
+        with pytest.raises(ValueError, match="non-negative"):
+            assign_origin_traffic(
+                np.array([-1.0, 2.0, 2.0]),
+                np.array([1.0, 1.0, 1.0]),
+                matrix.latency_ms,
+            )

@@ -1,0 +1,83 @@
+"""GeoOrigin registry: weights, offsets, zones."""
+
+import numpy as np
+import pytest
+
+from repro.demand.origins import (
+    GeoOrigin,
+    ORIGIN_NAMES,
+    ZONES,
+    default_origins,
+    normalized_weights,
+    origin_by_name,
+)
+
+
+class TestRegistry:
+    def test_default_world_covers_all_zones(self):
+        origins = default_origins()
+        assert {o.zone for o in origins} == set(ZONES)
+
+    def test_names_match_registry(self):
+        assert tuple(o.name for o in default_origins()) == ORIGIN_NAMES
+
+    def test_lookup_is_case_insensitive(self):
+        assert origin_by_name("EUROPE").name == "europe"
+
+    def test_unknown_origin_lists_valid_names(self):
+        with pytest.raises(KeyError, match="valid"):
+            origin_by_name("atlantis")
+
+    def test_apac_generates_the_most_demand(self):
+        """Internet population: APAC carries the largest weight."""
+        origins = {o.name: o for o in default_origins()}
+        assert origins["asia-pacific"].population_weight == max(
+            o.population_weight for o in origins.values()
+        )
+
+    def test_offsets_sweep_the_planet(self):
+        """The three origins' local clocks span most of a day."""
+        offsets = [o.utc_offset_h for o in default_origins()]
+        assert max(offsets) - min(offsets) >= 12.0
+
+
+class TestValidation:
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            GeoOrigin("x", 0.0, 0.0, "na")
+
+    def test_absurd_offset_rejected(self):
+        with pytest.raises(ValueError, match="offset"):
+            GeoOrigin("x", 1.0, 30.0, "na")
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(ValueError, match="zone"):
+            GeoOrigin("x", 1.0, 0.0, "atlantis")
+
+
+class TestLocalHour:
+    def test_wraps_around_midnight(self):
+        o = GeoOrigin("x", 1.0, 8.0, "apac")
+        assert o.local_hour(20.0) == pytest.approx(4.0)
+
+    def test_negative_offset(self):
+        o = GeoOrigin("x", 1.0, -6.0, "na")
+        assert o.local_hour(2.0) == pytest.approx(20.0)
+
+
+class TestNormalizedWeights:
+    def test_sum_to_one(self):
+        w = normalized_weights(default_origins())
+        assert w.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_single_origin_is_exactly_one(self):
+        """The constant-demand N=1 bit-for-bit anchor needs exact 1.0."""
+        w = normalized_weights((GeoOrigin("solo", 0.37, 0.0, "na"),))
+        assert w[0] == 1.0  # exact, not approx
+
+    def test_ratios_preserved(self):
+        origins = (
+            GeoOrigin("a", 1.0, 0.0, "na"),
+            GeoOrigin("b", 3.0, 0.0, "eu"),
+        )
+        assert normalized_weights(origins) == pytest.approx([0.25, 0.75])

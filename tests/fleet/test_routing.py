@@ -2,14 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.fleet.routing import (
     CarbonGreedyRouter,
+    ForecastAwareRouter,
     LatencyAwareRouter,
     ROUTER_NAMES,
     RoutingContext,
     StaticRouter,
     make_router,
+    plan_origin_cells,
 )
 
 
@@ -44,7 +47,12 @@ def make_ctx(
     )
 
 
-ALL_ROUTERS = (StaticRouter(), LatencyAwareRouter(), CarbonGreedyRouter())
+ALL_ROUTERS = (
+    StaticRouter(),
+    LatencyAwareRouter(),
+    CarbonGreedyRouter(),
+    ForecastAwareRouter(),
+)
 
 
 class TestConservation:
@@ -173,3 +181,354 @@ class TestFactory:
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="valid"):
             make_router("teleport")
+
+
+# --------------------------------------------------------------------- #
+# Property tests: conservation and caps for arbitrary contexts
+# --------------------------------------------------------------------- #
+
+rates_arrays = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(1.0, 100.0), min_size=n, max_size=n),   # nominal
+        st.lists(st.floats(1.05, 2.0), min_size=n, max_size=n),    # cap factor
+        st.lists(st.floats(1.0, 1000.0), min_size=n, max_size=n),  # ci
+        st.lists(st.floats(1.0, 2.0), min_size=n, max_size=n),     # pue
+        st.lists(st.floats(0.0, 100.0), min_size=n, max_size=n),   # latency
+        st.lists(st.floats(0.1, 1.0), min_size=n, max_size=n),     # sla frac
+    )
+)
+
+
+def ctx_from_draw(draw, floor_share=0.05, sla_capped=False):
+    nominal, factors, ci, pue, latency, sla_frac = draw
+    nominal = np.asarray(nominal)
+    capacity = nominal * np.asarray(factors)
+    sla = capacity * np.asarray(sla_frac) if sla_capped else np.full_like(
+        capacity, np.inf
+    )
+    return RoutingContext(
+        t_h=0.0,
+        global_rate_per_s=float(nominal.sum()),
+        ci=np.asarray(ci),
+        pue=np.asarray(pue),
+        net_latency_ms=np.asarray(latency),
+        nominal_rates=nominal,
+        capacity_rates=capacity,
+        sla_cap_rates=sla,
+        floor_rates=floor_share * nominal,
+    )
+
+
+class TestRouterProperties:
+    """Hypothesis: every policy conserves the workload and honors caps."""
+
+    @pytest.mark.parametrize("router", ALL_ROUTERS, ids=lambda r: r.name)
+    @given(draw=rates_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_shares_conserve_global_rate(self, router, draw):
+        ctx = ctx_from_draw(draw)
+        shares = router.split(ctx)
+        assert shares.sum() == pytest.approx(1.0, rel=1e-9)
+        assert (shares >= 0.0).all()
+        assert router.rates(ctx).sum() == pytest.approx(
+            ctx.global_rate_per_s, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("router", ALL_ROUTERS, ids=lambda r: r.name)
+    @given(draw=rates_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_caps_respected(self, router, draw):
+        """The global rate equals the nominal sum and capacity exceeds
+        nominal everywhere, so capacity caps are always satisfiable —
+        and every policy must then satisfy them."""
+        ctx = ctx_from_draw(draw)
+        assert (
+            router.rates(ctx) <= ctx.capacity_rates * (1 + 1e-9)
+        ).all()
+
+    @pytest.mark.parametrize("router", ALL_ROUTERS, ids=lambda r: r.name)
+    @given(draw=rates_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_beats_tight_sla_caps(self, router, draw):
+        """Even when SLA caps are unsatisfiable, no arrival is dropped."""
+        ctx = ctx_from_draw(draw, sla_capped=True)
+        assert router.rates(ctx).sum() == pytest.approx(
+            ctx.global_rate_per_s, rel=1e-9
+        )
+
+
+# --------------------------------------------------------------------- #
+# Ramp and drain limits
+# --------------------------------------------------------------------- #
+
+
+class TestRampLimits:
+    def make_ramped(self, prev, ramp=0.05, drain=None):
+        return make_ctx().__class__(
+            **{
+                **make_ctx().__dict__,
+                "prev_shares": np.asarray(prev),
+                "max_ramp_share": ramp,
+                "max_drain_share": drain,
+            }
+        )
+
+    #: A previous split every region could actually have served (each
+    #: prev rate below its capacity cap), so the ramp box is feasible.
+    PREV = np.array([0.3, 0.3, 0.4])
+
+    def test_share_gain_bounded_by_ramp(self):
+        ctx = self.make_ramped(self.PREV, ramp=0.05)
+        shares = CarbonGreedyRouter().split(ctx)
+        assert (shares <= self.PREV + 0.05 + 1e-9).all()
+
+    def test_share_loss_bounded_by_drain(self):
+        ctx = self.make_ramped(self.PREV, ramp=0.05, drain=0.02)
+        shares = CarbonGreedyRouter().split(ctx)
+        assert (shares >= self.PREV - 0.02 - 1e-9).all()
+
+    def test_drain_unset_means_unconstrained(self):
+        """drain=None is 'no drain limit' (the documented default), not
+        'same as the ramp': the dirty region sheds all the way down to
+        what the others' capacity caps force it to keep, in one epoch."""
+        prev = np.array([0.3, 0.3, 0.4])
+        ctx = self.make_ramped(prev, ramp=1.0, drain=None)
+        # ci default (300, 150, 40): region 0 is dirtiest; the clean two
+        # fill to capacity and region 0 keeps only the remainder.
+        shares = CarbonGreedyRouter().split(ctx)
+        leftover = (
+            ctx.global_rate_per_s - ctx.capacity_rates[1] - ctx.capacity_rates[2]
+        )
+        assert shares[0] == pytest.approx(leftover / ctx.global_rate_per_s)
+        assert shares[0] < prev[0] - 0.1  # far beyond any ramp-like bound
+
+    def test_unconstrained_without_prev_shares(self):
+        """No history (epoch zero of an unramped fleet): PR-1 semantics."""
+        free = CarbonGreedyRouter().split(make_ctx())
+        ramped = CarbonGreedyRouter().split(
+            self.make_ramped(np.array([1 / 3] * 3), ramp=1.0)
+        )
+        assert free == pytest.approx(ramped)
+
+    def test_invalid_ramp_rejected(self):
+        with pytest.raises(ValueError, match="ramp"):
+            self.make_ramped(np.array([1 / 3] * 3), ramp=0.0)
+        with pytest.raises(ValueError, match="drain"):
+            self.make_ramped(np.array([1 / 3] * 3), drain=1.5)
+
+
+# --------------------------------------------------------------------- #
+# Forecast-aware routing
+# --------------------------------------------------------------------- #
+
+
+def forecast_ctx(
+    ci, forecast, prev=None, ramp=1.0, t_h=0.0, lookahead=6.0, capacity=None
+):
+    base = make_ctx(ci=ci, capacity=capacity)
+    return RoutingContext(
+        **{
+            **base.__dict__,
+            "t_h": t_h,
+            "forecast_ci": np.asarray(forecast, dtype=np.float64),
+            "lookahead_h": lookahead,
+            "prev_shares": None if prev is None else np.asarray(prev),
+            "max_ramp_share": ramp,
+        }
+    )
+
+
+class TestForecastAware:
+    def test_no_forecast_degrades_to_greedy(self):
+        ctx = make_ctx()
+        fa = ForecastAwareRouter().split(ctx)
+        greedy = CarbonGreedyRouter().split(ctx)
+        assert fa == pytest.approx(greedy)
+
+    def test_forecast_flips_the_order(self):
+        """A region predicted to get much cleaner wins the fill despite a
+        slightly dirtier present.  Capacity is kept loose so the fill
+        order is visible in the split (tight caps equalize any order)."""
+        ci = (210.0, 200.0, 900.0)          # region 1 cleanest now, barely
+        forecast = (40.0, 400.0, 900.0)     # region 0 about to plunge
+        roomy = (90.0, 90.0, 90.0)
+        fa = ForecastAwareRouter(blend=0.6).split(
+            forecast_ctx(ci, forecast, capacity=roomy)
+        )
+        greedy = CarbonGreedyRouter().split(make_ctx(ci=ci, capacity=roomy))
+        assert fa[0] > greedy[0]            # pre-positioned toward region 0
+        assert fa[0] == pytest.approx(greedy[1])  # mirror of the fill order
+
+    def test_blend_zero_is_myopic(self):
+        ci = (210.0, 200.0, 900.0)
+        forecast = (40.0, 400.0, 900.0)
+        fa = ForecastAwareRouter(blend=0.0).split(forecast_ctx(ci, forecast))
+        greedy = CarbonGreedyRouter().split(make_ctx(ci=ci))
+        assert fa == pytest.approx(greedy)
+
+    def test_regret_guard_decays_trust_in_bad_forecasts(self):
+        """Feeding wildly wrong forecasts long enough drops the effective
+        weight, and the split converges back to myopic greedy."""
+        router = ForecastAwareRouter(
+            blend=0.6, regret_threshold=0.1, regret_memory=0.5
+        )
+        ci = (210.0, 200.0, 900.0)
+        garbage = (2000.0, 10.0, 50.0)
+        assert router.forecast_weight == pytest.approx(0.6)
+        for epoch in range(20):
+            ctx = forecast_ctx(ci, garbage, t_h=float(epoch), lookahead=2.0)
+            router.split(ctx)
+        assert router.forecast_weight < 0.1
+        final = router.split(
+            forecast_ctx(ci, garbage, t_h=21.0, lookahead=2.0)
+        )
+        greedy = CarbonGreedyRouter().split(make_ctx(ci=ci))
+        assert final == pytest.approx(greedy, rel=1e-3)
+
+    def test_accurate_forecasts_keep_full_trust(self):
+        router = ForecastAwareRouter(blend=0.6, regret_threshold=0.1)
+        ci = (210.0, 200.0, 900.0)
+        for epoch in range(20):
+            ctx = forecast_ctx(ci, ci, t_h=float(epoch), lookahead=2.0)
+            router.split(ctx)
+        assert router.forecast_weight == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForecastAwareRouter(blend=1.5)
+        with pytest.raises(ValueError):
+            ForecastAwareRouter(lookahead_h=-1.0)
+        with pytest.raises(ValueError):
+            ForecastAwareRouter(regret_threshold=0.0)
+        with pytest.raises(ValueError):
+            ForecastAwareRouter(regret_memory=1.0)
+
+    def test_reset_clears_regret_state(self):
+        """A router instance reused across runs must not inherit pending
+        forecasts or regret statistics (the coordinator resets per run)."""
+        router = ForecastAwareRouter(
+            blend=0.6, regret_threshold=0.1, regret_memory=0.5
+        )
+        ci = (210.0, 200.0, 900.0)
+        garbage = (2000.0, 10.0, 50.0)
+        for epoch in range(10):
+            router.split(forecast_ctx(ci, garbage, t_h=float(epoch), lookahead=2.0))
+        assert router.forecast_weight < 0.6
+        assert router._pending
+        router.reset()
+        assert router.forecast_weight == pytest.approx(0.6)
+        assert not router._pending and not router._observed
+
+    def test_sub_epoch_lookahead_still_feeds_the_regret_guard(self):
+        """With a lookahead shorter than the epoch step the scoring window
+        holds no observations; the guard falls back to the current reading
+        instead of going inert."""
+        router = ForecastAwareRouter(
+            blend=0.6, regret_threshold=0.1, regret_memory=0.5
+        )
+        ci = (210.0, 200.0, 900.0)
+        garbage = (2000.0, 10.0, 50.0)
+        for epoch in range(10):
+            router.split(
+                forecast_ctx(ci, garbage, t_h=float(epoch), lookahead=0.5)
+            )
+        assert router.forecast_weight < 0.6
+
+
+# --------------------------------------------------------------------- #
+# Pair-aware cell planning
+# --------------------------------------------------------------------- #
+
+
+def cell_inputs(targets=(90.0, 90.0, 90.0)):
+    """Three origins, three regions; origin i's home is region i."""
+    latency = np.array(
+        [
+            [10.0, 45.0, 65.0],
+            [45.0, 10.0, 65.0],
+            [55.0, 65.0, 14.0],
+        ]
+    )
+    return latency, np.asarray(targets, dtype=np.float64)
+
+
+class TestPlanOriginCells:
+    def plan(self, origin_rates, order=(0, 1, 2), sla_rate=1e9,
+             targets=(90.0, 90.0, 90.0), **kwargs):
+        latency, t = cell_inputs(targets)
+        ctx = make_ctx()
+        return plan_origin_cells(
+            ctx,
+            np.asarray(order),
+            np.asarray(origin_rates, dtype=np.float64),
+            latency,
+            t,
+            lambda r, budget: sla_rate,
+            **kwargs,
+        )
+
+    def test_conserves_origin_supply(self):
+        supply = [30.0, 30.0, 30.0]
+        plan = self.plan(supply)
+        np.testing.assert_allclose(plan.sum(axis=1), supply, rtol=1e-9)
+        assert plan.sum() == pytest.approx(90.0, rel=1e-9)
+
+    def test_infeasible_pair_never_filled(self):
+        """A pair whose hop exceeds the whole budget gets zero traffic
+        (supply reroutes through feasible pairs with room)."""
+        plan = self.plan([30.0, 30.0, 30.0], targets=(90.0, 90.0, 60.0))
+        # Budgets into region 2: 60-55, 60-65, 60-14 → origin 1 infeasible.
+        assert plan[1, 2] == pytest.approx(0.0)
+
+    def test_session_retention_pins_prior_cells(self):
+        prev = np.array(
+            [[20.0, 10.0, 0.0], [0.0, 30.0, 0.0], [0.0, 0.0, 30.0]]
+        )
+        plan = self.plan(
+            [30.0, 30.0, 30.0],
+            prev_plan=prev,
+            session_keep_frac=0.8,
+        )
+        assert (plan >= 0.8 * prev - 1e-9).all()
+
+    def test_retention_scales_with_shrinking_demand(self):
+        """When an origin's demand halves, retained cells halve too —
+        sessions end with their users."""
+        prev = np.array(
+            [[20.0, 10.0, 0.0], [0.0, 30.0, 0.0], [0.0, 0.0, 30.0]]
+        )
+        plan = self.plan(
+            [15.0, 30.0, 30.0],  # origin 0 demand halved
+            prev_plan=prev,
+            session_keep_frac=1.0,
+        )
+        assert plan[0] == pytest.approx(prev[0] * 0.5)
+
+    def test_residency_floor_stays_home(self):
+        plan = self.plan(
+            [30.0, 30.0, 30.0],
+            order=(2, 0, 1),  # policy prefers region 2
+            resident_floor_share=0.1,
+        )
+        for o in range(3):
+            assert plan[o, o] >= 0.1 * 30.0 - 1e-9
+
+    def test_measured_p95_gate_blocks_far_cells(self):
+        """A measured tail above a pair's budget keeps that pair empty
+        even when the analytic bisection would allow it."""
+        measured = np.array([5.0, 5.0, 40.0])  # region 2's tail is bad
+        plan = self.plan(
+            [30.0, 30.0, 30.0],
+            order=(2, 0, 1),
+            measured_p95_ms=measured,
+        )
+        # Budgets into region 2: 90-55=35 and 90-65=25 < 40 → origins 0, 1
+        # blocked; only origin 2 (budget 76) may use it via the fill.
+        assert plan[0, 2] == pytest.approx(0.0)
+        assert plan[1, 2] == pytest.approx(0.0)
+
+    def test_conservation_spill_when_budgets_block_everything(self):
+        """With zero SLA-safe rate everywhere, traffic still lands
+        somewhere (capacity order) — conservation beats caps."""
+        plan = self.plan([30.0, 30.0, 30.0], sla_rate=0.0)
+        assert plan.sum() == pytest.approx(90.0, rel=1e-9)

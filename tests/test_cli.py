@@ -108,3 +108,33 @@ class TestFleetCommand:
     def test_fleet_listed_as_experiment(self, capsys):
         assert main(["list"]) == 0
         assert "fleet" in capsys.readouterr().out.split()
+
+
+class TestDemandFlags:
+    def test_parser_defaults_to_constant_demand(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.demand is None
+        assert args.lookahead_h is None
+
+    def test_bad_demand_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--demand", "chaotic"])
+
+    def test_demand_fleet_prints_origin_table(self, capsys):
+        assert main(
+            [
+                "fleet", "--regions", "us-ciso,uk-eso,apac-solar",
+                "--n-gpus", "2", "--duration-h", "3",
+                "--demand", "diurnal", "--router", "forecast-aware",
+                "--ramp-share-per-h", "0.1", "--drain-share-per-h", "0.2",
+                "--lookahead-h", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "demand origins" in out
+        assert "asia-pacific" in out
+        assert "user SLA" in out
+
+    def test_demand_listed_as_experiment(self, capsys):
+        assert main(["list"]) == 0
+        assert "demand" in capsys.readouterr().out.split()
