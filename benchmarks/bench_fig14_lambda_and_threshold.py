@@ -9,7 +9,7 @@ floor.
 from repro.analysis.experiments import fig14_lambda_and_threshold
 from repro.analysis.reporting import render
 
-from benchmarks.conftest import FIDELITY, SEED, once
+from benchmarks.conftest import FIDELITY, SEED, once, strict
 
 
 def test_fig14_lambda_and_threshold(benchmark, runner):
@@ -39,7 +39,8 @@ def test_fig14_lambda_and_threshold(benchmark, runner):
         assert result.floor_accuracy_loss_pct[floor] <= floor + 0.3
     f_saves = [result.floor_carbon_save_pct[f] for f in result.floors]
     assert all(b >= a - 2.0 for a, b in zip(f_saves, f_saves[1:]))
-    assert result.floor_carbon_save_pct[0.2] > 8.0
-    assert result.floor_carbon_save_pct[0.8] > 30.0
-    assert result.floor_carbon_save_pct[1.6] > 50.0
-    assert result.floor_carbon_save_pct[3.2] > 65.0
+    if strict():  # the absolute bands are calibrated at default fidelity
+        assert result.floor_carbon_save_pct[0.2] > 8.0
+        assert result.floor_carbon_save_pct[0.8] > 30.0
+        assert result.floor_carbon_save_pct[1.6] > 50.0
+        assert result.floor_carbon_save_pct[3.2] > 65.0

@@ -27,7 +27,8 @@ Multi-region::
     print(f"fleet carbon: {report.total_carbon_g:.0f} g, "
           f"SLA attainment: {100 * report.sla_attainment:.1f}%")
 
-Geo-diurnal demand with forecast-driven proactive routing::
+Geo-diurnal demand with forecast-driven proactive routing and elastic
+GPU capacity (idle power follows traffic)::
 
     from repro import FleetCoordinator, region_by_name
 
@@ -36,10 +37,12 @@ Geo-diurnal demand with forecast-driven proactive routing::
     fleet = FleetCoordinator.create(
         regions, router="forecast-aware", demand="diurnal",
         ramp_share_per_h=0.10, drain_share_per_h=0.20, lookahead_h=6.0,
+        gating="forecast",
     )
     report = fleet.run(duration_h=48.0)
     print(f"user SLA (per origin-region pair): "
-          f"{100 * report.user_sla_attainment:.1f}%")
+          f"{100 * report.user_sla_attainment:.1f}%, "
+          f"GPUs awake: {100 * report.mean_awake_fraction:.0f}%")
 
 Packages: :mod:`repro.gpu` (MIG substrate), :mod:`repro.models` (Table-1
 model zoo), :mod:`repro.serving` (queueing + DES), :mod:`repro.carbon`
@@ -60,6 +63,7 @@ from repro.demand import (
 from repro.fleet import (
     FleetCoordinator,
     FleetResult,
+    GatingPolicy,
     Region,
     default_fleet_regions,
     region_by_name,
@@ -76,6 +80,7 @@ __all__ = [
     "RunResult",
     "FleetCoordinator",
     "FleetResult",
+    "GatingPolicy",
     "Region",
     "default_fleet_regions",
     "region_by_name",

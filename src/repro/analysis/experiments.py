@@ -23,6 +23,7 @@ fig16       geographic/seasonal robustness
 savings     the back-of-the-envelope daily savings estimate (Sec. 5.2.1)
 fleet       multi-region load shifting (beyond the paper: Sec. 6 futures)
 demand      geo-diurnal demand + forecast-driven proactive routing
+gating      elastic GPU capacity: always-on vs reactive vs forecast-pre-wake
 ==========  ===========================================================
 
 ``fig16``, ``fleet`` and ``demand`` run through the :mod:`repro.fleet`
@@ -85,6 +86,7 @@ __all__ = [
     "fig16_geographic",
     "fleet_load_shifting",
     "demand_routing",
+    "gating_elasticity",
     "savings_estimate",
     "EXPERIMENT_REGISTRY",
 ]
@@ -1256,6 +1258,157 @@ def demand_routing(
 
 
 # --------------------------------------------------------------------- #
+# Gating — elastic GPU capacity (beyond the paper)
+# --------------------------------------------------------------------- #
+
+#: The gating experiment's comparison rows: label -> (router, gating mode,
+#: lookahead).  Reactive gating pairs with the myopic carbon-greedy router
+#: (wake after the shortfall is observed); forecast-pre-wake pairs with the
+#: forecast-aware router whose lookahead window files the pre-wakes.
+GATING_ROWS: tuple[tuple[str, str, str | None, bool], ...] = (
+    ("always-on/static", "static", None, False),
+    ("always-on/greedy", "carbon-greedy", None, False),
+    ("reactive/static", "static", "reactive", False),
+    ("reactive/greedy", "carbon-greedy", "reactive", False),
+    ("reactive/forecast", "forecast-aware", "reactive", True),
+    ("prewake/forecast", "forecast-aware", "forecast", True),
+)
+
+
+@dataclass(frozen=True)
+class GatingResult:
+    """Elastic-capacity comparison under geo-diurnal demand.
+
+    Each row is one (router, gating mode) pair; the headline properties
+    compare the carbon-greedy-vs-static gap with and without gating (the
+    gap is the shiftable margin — always-on fleets only shift dynamic
+    power, gated fleets shift the idle draw too) and reactive gating
+    against forecast-driven pre-waking.
+    """
+
+    application: str
+    region_names: tuple[str, ...]
+    labels: tuple[str, ...]
+    total_carbon_g: dict[str, float]
+    total_energy_j: dict[str, float]
+    user_sla_attainment: dict[str, float]
+    accuracy_loss_pct: dict[str, float]
+    mean_awake_fraction: dict[str, float]
+
+    @property
+    def always_on_gap_pct(self) -> float:
+        """Carbon-greedy's saving over static, both always-on (PR-2's gap)."""
+        static = self.total_carbon_g["always-on/static"]
+        greedy = self.total_carbon_g["always-on/greedy"]
+        return (1.0 - greedy / static) * 100.0
+
+    @property
+    def gated_gap_pct(self) -> float:
+        """The same gap with reactive gating enabled for both policies."""
+        static = self.total_carbon_g["reactive/static"]
+        greedy = self.total_carbon_g["reactive/greedy"]
+        return (1.0 - greedy / static) * 100.0
+
+    @property
+    def gap_growth(self) -> float:
+        """How many times gating multiplies the routing gap."""
+        base = self.always_on_gap_pct
+        return self.gated_gap_pct / base if base > 0 else float("inf")
+
+    def table(self):
+        headers = (
+            "Mode/Router", "Carbon(g)", "Energy(kWh)", "AwakeGPU%",
+            "UserSLA%", "AccLoss%",
+        )
+        rows = [
+            (
+                label,
+                f"{self.total_carbon_g[label]:,.0f}",
+                f"{self.total_energy_j[label] / 3.6e6:.2f}",
+                f"{100 * self.mean_awake_fraction[label]:.1f}",
+                f"{100 * self.user_sla_attainment[label]:.2f}",
+                f"{self.accuracy_loss_pct[label]:.2f}",
+            )
+            for label in self.labels
+        ]
+        rows.append(
+            (
+                "gap on/gated",
+                f"{self.always_on_gap_pct:.2f}% vs {self.gated_gap_pct:.2f}%",
+                "-", "-", "-", "-",
+            )
+        )
+        return headers, rows
+
+
+def gating_elasticity(
+    runner: ExperimentRunner | None = None,
+    fidelity: str = "default",
+    seed: int = 0,
+    application: str = "classification",
+    region_names: tuple[str, ...] = ("us-ciso", "uk-eso", "apac-solar"),
+    scheme: str = "clover",
+    n_gpus: int = 2,
+    duration_h: float = 48.0,
+    lookahead_h: float = DEMAND_LOOKAHEAD_H,
+) -> GatingResult:
+    """Elastic GPU capacity: always-on vs reactive vs forecast-pre-wake.
+
+    The setup is the ``demand`` experiment's (same regions, diurnal
+    demand, ramp/drain inertia, per-pair SLA charging); what varies is
+    whether idle power follows traffic.  The expected shape:
+
+    * The **static** split never drops a region low enough to gate — its
+      reactive row reproduces its always-on row.  Gating without
+      carbon-aware drain is worthless; the two levers compound.
+    * The **carbon-greedy-vs-static gap** grows several-fold under
+      gating: draining the dirty region now turns its idle draw off
+      instead of leaving it burning coal, so routing finally moves the
+      static margin, not just the dynamic one.
+    * **Reactive gating** pays for its savings in SLA: wakes happen after
+      the demand arrived, and the wake window serves at yesterday's
+      capacity.  **Forecast pre-waking** files the wake one epoch early
+      from the router's lookahead window — equal-or-lower carbon (its
+      policy can afford deeper sleeps) at reactive-free SLA.
+    """
+    runner = runner or ExperimentRunner()
+    results = {}
+    for label, router, gating, needs_lookahead in GATING_ROWS:
+        results[label] = runner.run_fleet(
+            FleetSpec(
+                region_names=region_names,
+                application=application,
+                scheme=scheme,
+                router=router,
+                fidelity=fidelity,
+                seed=seed,
+                n_gpus=n_gpus,
+                duration_h=duration_h,
+                demand="diurnal",
+                ramp_share_per_h=DEMAND_RAMP_SHARE_PER_H,
+                drain_share_per_h=DEMAND_DRAIN_SHARE_PER_H,
+                lookahead_h=(lookahead_h if needs_lookahead else None),
+                gating=gating,
+            )
+        )
+    labels = tuple(label for label, *_ in GATING_ROWS)
+    return GatingResult(
+        application=application,
+        region_names=region_names,
+        labels=labels,
+        total_carbon_g={k: r.total_carbon_g for k, r in results.items()},
+        total_energy_j={k: r.total_energy_j for k, r in results.items()},
+        user_sla_attainment={
+            k: r.user_sla_attainment for k, r in results.items()
+        },
+        accuracy_loss_pct={k: r.accuracy_loss_pct for k, r in results.items()},
+        mean_awake_fraction={
+            k: r.mean_awake_fraction for k, r in results.items()
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
 # Sec. 5.2.1 — physical-significance estimate
 # --------------------------------------------------------------------- #
 
@@ -1338,5 +1491,6 @@ EXPERIMENT_REGISTRY = {
     "fig16": fig16_geographic,
     "fleet": fleet_load_shifting,
     "demand": demand_routing,
+    "gating": gating_elasticity,
     "savings": savings_estimate,
 }

@@ -57,7 +57,9 @@ class FleetSpec:
     demand-model kind (``"constant"`` / ``"diurnal"``), ``demand_scale``
     sizes its mean against the fleet's nominal sizing, the ramp/drain
     shares bound per-hour traffic migration, and ``lookahead_h`` /
-    ``forecaster`` configure forecast-aware routing.
+    ``forecaster`` configure forecast-aware routing.  ``gating`` turns on
+    elastic GPU capacity (``"reactive"`` / ``"forecast"``; ``None`` keeps
+    every GPU always on).
     """
 
     region_names: tuple[str, ...]
@@ -76,6 +78,7 @@ class FleetSpec:
     drain_share_per_h: float | None = None
     lookahead_h: float | None = None
     forecaster: str = "diurnal"
+    gating: str | None = None
 
 
 @dataclass
@@ -152,6 +155,7 @@ class ExperimentRunner:
             drain_share_per_h=spec.drain_share_per_h,
             lookahead_h=spec.lookahead_h,
             forecaster=spec.forecaster,
+            gating=spec.gating,
         )
         result = fleet.run(duration_h=spec.duration_h)
         self._fleet_cache[spec] = result

@@ -17,7 +17,10 @@ Subcommands
     aggregated fleet report (per-region and global carbon/accuracy/SLA).
     ``--demand diurnal`` switches the run to geo-diurnal per-origin
     demand with session-drain inertia and per-(origin, region) SLA
-    charging; ``--lookahead-h`` tunes the forecast-aware router.
+    charging; ``--lookahead-h`` tunes the forecast-aware router;
+    ``--gating reactive|forecast`` turns on elastic GPU capacity so idle
+    power follows traffic (``repro run gating`` prints the side-by-side
+    always-on vs reactive vs pre-wake comparison).
 """
 
 from __future__ import annotations
@@ -149,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
         dest="lookahead_h",
         help="forecast-aware router horizon in hours",
     )
+    from repro.fleet.capacity import GATING_MODES
+
+    fleet.add_argument(
+        "--gating",
+        default=None,
+        choices=GATING_MODES,
+        help=(
+            "elastic GPU capacity: sleep GPUs when the routed rate falls "
+            "(reactive wakes pay a latency window; forecast pre-wakes from "
+            "the router's lookahead).  Default: every GPU always on"
+        ),
+    )
     return parser
 
 
@@ -241,6 +256,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             ramp_share_per_h=args.ramp_share_per_h,
             drain_share_per_h=args.drain_share_per_h,
             lookahead_h=args.lookahead_h,
+            gating=args.gating,
         )
         t0 = time.perf_counter()
         report = fleet.run(duration_h=args.duration_h)
@@ -272,6 +288,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"  evaluator cache: {cache.hits:,} hits / {cache.misses:,} misses "
         f"({100 * cache.hit_rate:.1f}% hit rate)"
     )
+    if report.has_gating:
+        print(
+            f"  gating:          {report.gating_name} "
+            f"({100 * report.mean_awake_fraction:.1f}% of GPUs awake on average)"
+        )
     if report.has_demand:
         print(
             f"  user SLA:        {100 * report.user_sla_attainment:.1f}% "

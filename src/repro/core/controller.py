@@ -25,6 +25,17 @@ drives a whole trace (the single-cluster paper setup), while
 coordinator — advance one epoch at a time with a per-epoch arrival rate
 (geographically routed load).  ``run`` is implemented on top of the
 step-wise API, so both paths execute identical arithmetic.
+
+Elastic capacity enters through the optional :class:`EpochCapacity` a
+driver may pass to :meth:`~ServiceController.step`: it carries the epoch's
+awake-GPU count (candidate and measurement evaluations are capped to the
+awake subset), the wake-up window of any reactively-woken GPUs (the epoch
+is accounted part at the pre-wake capacity, part at the post-wake
+capacity), and auxiliary energy the driver charges on top (sleeping GPUs'
+reduced static draw, wake transitions).  Without it — the seed path —
+nothing changes, bit for bit.  A routed rate of exactly zero (a region
+fully drained while its GPUs sleep) is legal: the epoch serves nothing and
+pays only the powered static draw.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from repro.utils.stats import weighted_mean
 __all__ = [
     "CandidateRecord",
     "InvocationRecord",
+    "EpochCapacity",
     "EpochRecord",
     "RunResult",
     "ServiceController",
@@ -52,6 +64,56 @@ __all__ = [
 #: paper's 5-minute SA budget always fits a 10-minute epoch; this guard only
 #: matters for very coarse smoke-test epochs).
 _MAX_EXPLORE_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class EpochCapacity:
+    """One epoch's elastic-capacity state, handed to :meth:`~ServiceController.step`.
+
+    Attributes
+    ----------
+    awake_gpus:
+        GPUs online by the end of the epoch; all evaluations (candidates
+        and measurements) are capped to this subset.
+    serving_gpus_at_start:
+        GPUs that were already online when the epoch began (defaults to
+        ``awake_gpus``).  When smaller, the difference was woken
+        *reactively* this epoch and comes online only after
+        ``wake_delay_s`` — the epoch's stable window is accounted at the
+        start capacity for that long.
+    wake_delay_s:
+        How long reactively-woken GPUs take to come online.
+    aux_energy_j:
+        Energy the driver charges on top of the serving cluster's draw:
+        sleeping GPUs' sleep-state watts over the epoch plus wake
+        transition energy.  Converted to carbon at the epoch's intensity.
+    """
+
+    awake_gpus: int
+    serving_gpus_at_start: int | None = None
+    wake_delay_s: float = 0.0
+    aux_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.awake_gpus < 1:
+            raise ValueError(f"awake GPUs must be >= 1, got {self.awake_gpus}")
+        start = self.start_gpus
+        if not 1 <= start <= self.awake_gpus:
+            raise ValueError(
+                f"serving GPUs at start must be in [1, {self.awake_gpus}], "
+                f"got {start}"
+            )
+        if self.wake_delay_s < 0 or self.aux_energy_j < 0:
+            raise ValueError("wake delay and auxiliary energy must be non-negative")
+
+    @property
+    def start_gpus(self) -> int:
+        """Capacity online at epoch start (before reactive wakes land)."""
+        return (
+            self.awake_gpus
+            if self.serving_gpus_at_start is None
+            else self.serving_gpus_at_start
+        )
 
 
 @dataclass(frozen=True)
@@ -112,6 +174,8 @@ class EpochRecord:
     num_evaluations: int
     #: Arrival rate served this epoch (0.0 in records predating routing).
     rate_per_s: float = 0.0
+    #: GPUs awake this epoch (``None``: no gating — the whole cluster).
+    awake_gpus: int | None = None
 
 
 @dataclass
@@ -157,11 +221,20 @@ class RunResult:
 
     @property
     def carbon_g_per_request(self) -> float:
-        return self.total_carbon_g / self.total_requests
+        """Total carbon over total requests (NaN for a zero-traffic run).
+
+        Gated fleets can drain a region to zero requests while its static
+        draw still emits, so the ratio is undefined rather than infinite
+        or an exception.
+        """
+        total = self.total_requests
+        return self.total_carbon_g / total if total > 0 else float("nan")
 
     @property
     def mean_accuracy(self) -> float:
-        """Request-weighted accuracy over the whole run."""
+        """Request-weighted accuracy over the whole run (NaN if no traffic)."""
+        if self.total_requests <= 0:
+            return float("nan")
         return weighted_mean(
             [e.accuracy for e in self.epochs], [e.requests for e in self.epochs]
         )
@@ -188,7 +261,9 @@ class RunResult:
 
     @property
     def worst_p95_ms(self) -> float:
-        return max(e.p95_ms for e in self.epochs)
+        """Worst measured epoch p95 (zero-traffic epochs have none)."""
+        measured = [e.p95_ms for e in self.epochs if not np.isnan(e.p95_ms)]
+        return max(measured) if measured else float("nan")
 
     @property
     def sla_violation_fraction(self) -> float:
@@ -317,13 +392,23 @@ class ServiceController:
         index: int,
         t_h: float,
         rate_per_s: float | None = None,
+        capacity: EpochCapacity | None = None,
     ) -> EpochRecord:
         """Advance one control epoch at trace time ``t_h``.
 
         ``rate_per_s`` overrides the construction-time arrival rate for this
         epoch only (a fleet router's per-epoch traffic assignment); ``None``
         serves the nominal rate, which is exactly the single-cluster loop.
+        ``capacity`` is the epoch's elastic-capacity state (awake GPUs,
+        wake window, auxiliary sleep/wake energy); ``None`` — the seed
+        path — runs the whole cluster, untouched.
         """
+        if capacity is not None:
+            self._set_awake_evaluators(capacity.awake_gpus)
+        elif self.measure_evaluator.awake_gpus is not None:
+            # A previous gated epoch left the cap behind; clear it so an
+            # ungated step is indistinguishable from the seed loop.
+            self._set_awake_evaluators(None)
         ci = self.monitor.observe(t_h)
 
         optimized = False
@@ -344,10 +429,17 @@ class ServiceController:
 
         record = self._account_epoch(
             index, t_h, ci, self._deployed, optimized, opt_s, evaluated,
-            rate_per_s,
+            rate_per_s, capacity,
         )
         result.epochs.append(record)
         return record
+
+    def _set_awake_evaluators(self, awake_gpus: int | None) -> None:
+        """Cap (or uncap) both evaluators to the awake GPU subset."""
+        self.measure_evaluator.set_awake_gpus(awake_gpus)
+        opt_evaluator = getattr(self.scheme, "evaluator", None)
+        if opt_evaluator is not None:
+            opt_evaluator.set_awake_gpus(awake_gpus)
 
     def finalize(self, result: RunResult) -> RunResult:
         """Attach end-of-run bookkeeping (evaluator cache counters)."""
@@ -395,7 +487,7 @@ class ServiceController:
 
     def _account_epoch(
         self, index, t_h, ci, deployed, optimized, opt_s, evaluated,
-        rate_per_s=None,
+        rate_per_s=None, capacity=None,
     ) -> EpochRecord:
         rate = self.rate_per_s if rate_per_s is None else rate_per_s
         explore_s = min(opt_s, _MAX_EXPLORE_FRACTION * self.step_s)
@@ -416,39 +508,127 @@ class ServiceController:
                 acc_weighted += cand.evaluation.accuracy * r
                 requests += r
 
-        # Stable window: the deployed configuration, DES-measured at the
-        # epoch's (possibly routed) arrival rate.
-        stable_eval = self.measure_evaluator.evaluate(deployed, rate_per_s=rate)
-        r = rate * stable_s
-        energy_j += stable_eval.power_watts * stable_s
-        acc_weighted += stable_eval.accuracy * r
-        requests += r
+        if rate <= 0.0:
+            # Zero-traffic epoch (a gated region fully drained): nothing is
+            # served or measured, only the powered static draw is paid.
+            n_powered = (
+                capacity.awake_gpus if capacity is not None else self.scheme.n_gpus
+            )
+            static_w = (
+                self.measure_evaluator.perf.power.static_watts_per_gpu()
+                * n_powered
+            )
+            energy_j += static_w * stable_s
+            p95_ms = float("nan")
+            if capacity is None or n_powered >= deployed.n_gpus:
+                num_instances = deployed.num_instances
+            else:
+                # Consistent with the gated branches: count only the
+                # instances hosted on awake GPUs (first canonical subset).
+                num_instances = sum(
+                    a.partition.num_instances
+                    for a in deployed.canonical().assignments[:n_powered]
+                )
+            sla_met, f, d_acc, d_carbon = True, 0.0, 0.0, 0.0
+        elif (
+            capacity is not None
+            and capacity.wake_delay_s > 0.0
+            and capacity.start_gpus < capacity.awake_gpus
+        ):
+            # Reactive wake: the epoch starts at the pre-wake capacity and
+            # gains the woken GPUs only after the wake window — the real
+            # price of scaling capacity after the demand already arrived.
+            wake_s = min(capacity.wake_delay_s, stable_s)
+            pre = self._evaluate_capped(deployed, rate, capacity.start_gpus)
+            post = self._evaluate_capped(deployed, rate, capacity.awake_gpus)
+            r_pre, r_post = rate * wake_s, rate * (stable_s - wake_s)
+            # Energy is deterministic: the post-wake cluster's draw for the
+            # whole window, minus the still-waking GPUs' static during the
+            # wake window — their ramp draw is the driver's wake transition
+            # energy (aux_energy_j), bounded by that same static floor, so
+            # a gated epoch can never out-spend its always-on twin.
+            waking = capacity.awake_gpus - capacity.start_gpus
+            static_per_gpu = (
+                self.measure_evaluator.perf.power.static_watts_per_gpu()
+            )
+            e_stable = (
+                post.power_watts * stable_s - static_per_gpu * waking * wake_s
+            )
+            energy_j += e_stable
+            acc_weighted += pre.accuracy * r_pre + post.accuracy * r_post
+            requests += r_pre + r_post
+            # Request-weighted tail across the two windows, with the wake
+            # window measured on the *pre-wake* capacity; an overloaded
+            # wake window (p95 = inf) poisons the whole epoch's SLA, which
+            # is exactly the conservatism reactive gating must answer for.
+            p95_ms = (pre.p95_ms * r_pre + post.p95_ms * r_post) / (r_pre + r_post)
+            num_instances = post.num_instances
+            score = self.objective.score(
+                post.accuracy,
+                e_stable / max(r_pre + r_post, 1e-300),
+                p95_ms,
+                ci,
+            )
+            sla_met, f = score.sla_met, score.f
+            d_acc, d_carbon = score.delta_accuracy_pct, score.delta_carbon_pct
+        else:
+            # Stable window: the deployed configuration, DES-measured at the
+            # epoch's (possibly routed) arrival rate.
+            stable_eval = self.measure_evaluator.evaluate(deployed, rate_per_s=rate)
+            r = rate * stable_s
+            energy_j += stable_eval.power_watts * stable_s
+            acc_weighted += stable_eval.accuracy * r
+            requests += r
+            p95_ms = stable_eval.p95_ms
+            num_instances = (
+                deployed.num_instances
+                if capacity is None
+                else stable_eval.num_instances
+            )
+            score = self.objective.score(
+                stable_eval.accuracy,
+                stable_eval.energy_per_request_j,
+                stable_eval.p95_ms,
+                ci,
+            )
+            sla_met, f = score.sla_met, score.f
+            d_acc, d_carbon = score.delta_accuracy_pct, score.delta_carbon_pct
+
+        if capacity is not None:
+            # Driver-side elastic-capacity charges: sleeping GPUs' reduced
+            # static draw plus this epoch's wake transitions.
+            energy_j += capacity.aux_energy_j
 
         carbon = carbon_grams(energy_j, ci, self.pue)
-        score = self.objective.score(
-            stable_eval.accuracy,
-            stable_eval.energy_per_request_j,
-            stable_eval.p95_ms,
-            ci,
-        )
         return EpochRecord(
             index=index,
             t_h=t_h,
             duration_s=self.step_s,
             ci=ci,
             config_label=str(deployed.partition_ids),
-            num_instances=deployed.num_instances,
+            num_instances=num_instances,
             requests=requests,
             energy_j=energy_j,
             carbon_g=carbon,
             accuracy=acc_weighted / requests if requests > 0 else 0.0,
-            p95_ms=stable_eval.p95_ms,
-            sla_met=score.sla_met,
-            f_objective=score.f,
-            delta_accuracy_pct=score.delta_accuracy_pct,
-            delta_carbon_pct=score.delta_carbon_pct,
+            p95_ms=p95_ms,
+            sla_met=sla_met,
+            f_objective=f,
+            delta_accuracy_pct=d_acc,
+            delta_carbon_pct=d_carbon,
             optimized=optimized,
             optimization_s=explore_s,
             num_evaluations=len(evaluated),
             rate_per_s=rate,
+            awake_gpus=capacity.awake_gpus if capacity is not None else None,
         )
+
+    def _evaluate_capped(self, deployed, rate, n_awake):
+        """Measure ``deployed`` with exactly ``n_awake`` GPUs powering it."""
+        ev = self.measure_evaluator
+        prev = ev.awake_gpus
+        ev.set_awake_gpus(n_awake)
+        try:
+            return ev.evaluate(deployed, rate_per_s=rate)
+        finally:
+            ev.set_awake_gpus(prev)

@@ -23,6 +23,16 @@ The arrival rate is fixed at construction, but every evaluation accepts a
 ``rate_per_s`` override so a fleet router can probe a deployed
 configuration at candidate rates (SLA-feasibility bisection) without
 rebuilding the evaluator or losing the shared cache.
+
+Elastic capacity (GPU power-gating) enters here through
+:attr:`ConfigEvaluator.awake_gpus`: when set below ``n_gpus``, every
+evaluation is capped to the awake subset — the configuration is trimmed to
+its first ``awake_gpus`` canonical per-GPU assignments (sleeping GPUs keep
+their partition but serve nothing) and static power is charged for awake
+GPUs only.  Sleeping GPUs' reduced draw and wake transitions are charged by
+the fleet coordinator, not here.  With ``awake_gpus`` unset (or equal to
+``n_gpus``) the code path, cache keys and results are bit-for-bit identical
+to the always-on evaluator.
 """
 
 from __future__ import annotations
@@ -111,6 +121,9 @@ class ConfigEvaluator:
     seed:
         Root seed for DES arrival/jitter streams; each distinct
         configuration graph gets its own deterministic substream.
+    awake_gpus:
+        When set below ``n_gpus``, evaluations are capped to the awake
+        GPU subset (see the module docstring); ``None`` means fully awake.
     """
 
     zoo: ModelZoo
@@ -122,6 +135,7 @@ class ConfigEvaluator:
     des_requests: int = 4000
     jitter_cv: float = DEFAULT_JITTER_CV
     seed: int = 0
+    awake_gpus: int | None = None
     _cache: dict[tuple[bytes, float], Evaluation] = field(
         default_factory=dict, repr=False
     )
@@ -142,6 +156,8 @@ class ConfigEvaluator:
             raise ValueError(
                 f"des_requests must be positive, got {self.des_requests}"
             )
+        if self.awake_gpus is not None:
+            self.set_awake_gpus(self.awake_gpus)  # validates the range
         self._num_variants = self.zoo.family(self.family).num_variants
 
     # ------------------------------------------------------------------ #
@@ -165,8 +181,11 @@ class ConfigEvaluator:
             raise ValueError(
                 f"evaluator sized for {self.n_gpus} GPUs, got {config.n_gpus}"
             )
+        awake = self._effective_awake()
+        if awake is not None:
+            config = self._trim_to_awake(config, awake)
         graph = ConfigGraph.from_config(config, self._num_variants)
-        return self._cached_evaluate(graph, self._resolve_rate(rate_per_s))
+        return self._cached_evaluate(graph, self._resolve_rate(rate_per_s), awake)
 
     def evaluate_graph(
         self, graph: ConfigGraph, rate_per_s: float | None = None
@@ -176,7 +195,46 @@ class ConfigEvaluator:
             raise ValueError(
                 f"evaluator serves {self.family!r}, got a {graph.family!r} graph"
             )
-        return self._cached_evaluate(graph, self._resolve_rate(rate_per_s))
+        if self._effective_awake() is not None:
+            raise ValueError(
+                "graph-level evaluation does not support a partially-awake "
+                "cluster (a bare graph has no per-GPU structure to trim); "
+                "evaluate the concrete ClusterConfig instead"
+            )
+        return self._cached_evaluate(graph, self._resolve_rate(rate_per_s), None)
+
+    def set_awake_gpus(self, awake_gpus: int | None) -> None:
+        """Cap subsequent evaluations to ``awake_gpus`` GPUs.
+
+        ``None`` (or the full cluster size) restores the always-on path,
+        whose cache keys and results are untouched by gating.
+        """
+        if awake_gpus is not None and not 1 <= awake_gpus <= self.n_gpus:
+            raise ValueError(
+                f"awake GPUs must be in [1, {self.n_gpus}], got {awake_gpus}"
+            )
+        self.awake_gpus = awake_gpus
+
+    def _effective_awake(self) -> int | None:
+        """The awake count, normalized so fully-awake means ``None``."""
+        if self.awake_gpus is None or self.awake_gpus >= self.n_gpus:
+            return None
+        return self.awake_gpus
+
+    @staticmethod
+    def _trim_to_awake(config: ClusterConfig, awake: int) -> ClusterConfig:
+        """The awake sub-cluster: the first ``awake`` canonical assignments.
+
+        Canonical order sorts GPUs by (partition id, variant ordinals), so
+        sleeping always gates the canonically-last GPUs — the finest
+        partitions with the smallest variants, the cheapest capacity to
+        take offline.  The rule is deterministic, which keeps DES
+        substreams and cache keys reproducible.
+        """
+        canon = config.canonical()
+        return ClusterConfig(
+            family=canon.family, assignments=canon.assignments[:awake]
+        )
 
     @property
     def cache_size(self) -> int:
@@ -206,14 +264,20 @@ class ConfigEvaluator:
             raise ValueError(f"rate must be positive, got {rate_per_s}")
         return rate_per_s
 
-    def _cached_evaluate(self, graph: ConfigGraph, rate: float) -> Evaluation:
-        key = (graph.key(), rate)
+    def _cached_evaluate(
+        self, graph: ConfigGraph, rate: float, awake: int | None
+    ) -> Evaluation:
+        # Fully-awake evaluations keep the seed's 2-tuple key; gated ones
+        # append the awake count, because a trimmed graph can collide with
+        # a full configuration of the same multiset while owing a
+        # different static draw.
+        key = (graph.key(), rate) if awake is None else (graph.key(), rate, awake)
         hit = self._cache.get(key)
         if hit is not None:
             self._hits += 1
             return hit
         self._misses += 1
-        result = self._evaluate_graph(graph, rate)
+        result = self._evaluate_graph(graph, rate, awake)
         self._cache[key] = result
         return result
 
@@ -240,9 +304,12 @@ class ConfigEvaluator:
             np.asarray(acc, dtype=np.float64),
         )
 
-    def _evaluate_graph(self, graph: ConfigGraph, rate: float) -> Evaluation:
+    def _evaluate_graph(
+        self, graph: ConfigGraph, rate: float, awake: int | None = None
+    ) -> Evaluation:
         service, watts, acc = self._instance_arrays(graph)
-        static_watts = self.perf.power.static_watts_per_gpu() * self.n_gpus
+        n_powered = self.n_gpus if awake is None else awake
+        static_watts = self.perf.power.static_watts_per_gpu() * n_powered
 
         if self.method == "analytic":
             return self._evaluate_analytic(service, watts, acc, static_watts, rate)

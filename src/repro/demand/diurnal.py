@@ -207,6 +207,11 @@ class DiurnalDemandModel(DemandModel):
         and evaluates only that origin's shape: the rate function runs
         once per thinning candidate, so a full ``rates()`` sweep per call
         would dominate the sampling cost.
+
+        The bursts' edges and centers are declared as the workload's
+        *critical times*, so the thinning-envelope check samples them
+        deterministically — a burst far narrower than the check grid can
+        no longer slip between grid points and silently under-sample.
         """
         from repro.serving.workload import NonstationaryPoissonWorkload
 
@@ -214,10 +219,18 @@ class DiurnalDemandModel(DemandModel):
         origin_obj = self.origins[idx]
         share = float(normalized_weights(self.origins)[idx])
         mean = self.mean_total_rate_per_s * share
+        critical: list[float] = []
+        for b in self.bursts:
+            if b.origin is not None and b.origin != origin:
+                continue
+            edges_h = (b.start_h, b.start_h + 0.5 * b.duration_h,
+                       b.start_h + b.duration_h)
+            critical.extend((h - start_h) * 3600.0 for h in edges_h)
         return NonstationaryPoissonWorkload(
             rate_fn=lambda t_s: mean
             * self._shape(origin_obj, start_h + t_s / 3600.0),
             max_rate_per_s=share * self.peak_total_rate(),
+            critical_times_s=tuple(critical),
         )
 
 

@@ -11,18 +11,31 @@ Poisson workload across N regions each epoch through a pluggable
 carbon-greedy with capacity and SLA caps) and aggregates the per-region
 results into a :class:`~repro.fleet.coordinator.FleetResult`.
 
+Idle power follows traffic when elastic capacity is enabled: a per-region
+:class:`~repro.fleet.capacity.CapacityManager` sleeps whole GPUs as the
+routed rate falls (hysteresis-guarded) and wakes them — reactively, paying
+a wake-latency window, or proactively from the forecast-aware router's
+lookahead hints — under one :class:`~repro.fleet.capacity.GatingPolicy`.
+
 Quickstart::
 
     from repro.fleet import FleetCoordinator, default_fleet_regions
 
     fleet = FleetCoordinator.create(
         default_fleet_regions(n_gpus=4), router="carbon-greedy",
-        fidelity="smoke", seed=0,
+        fidelity="smoke", seed=0, gating="reactive",
     )
     report = fleet.run(duration_h=24.0)
-    print(report.total_carbon_g, report.sla_attainment)
+    print(report.total_carbon_g, report.mean_awake_fraction)
 """
 
+from repro.fleet.capacity import (
+    GATING_MODES,
+    CapacityDecision,
+    CapacityManager,
+    GatingPolicy,
+    make_gating_policy,
+)
 from repro.fleet.coordinator import (
     DEFAULT_DEMAND_SCALE,
     DEFAULT_FLOOR_SHARE,
@@ -68,4 +81,9 @@ __all__ = [
     "FleetResult",
     "DEFAULT_FLOOR_SHARE",
     "DEFAULT_DEMAND_SCALE",
+    "GatingPolicy",
+    "CapacityManager",
+    "CapacityDecision",
+    "GATING_MODES",
+    "make_gating_policy",
 ]

@@ -1,0 +1,301 @@
+"""Elastic GPU capacity: per-region power-gating with hysteresis.
+
+The fleet experiments of PR 2 exposed the structural ceiling of an
+always-on fleet: idle power is paid per GPU whether or not traffic is
+routed at it, so draining a dirty region saves only the dynamic margin.
+This module makes idle power *follow traffic*: a per-region
+:class:`CapacityManager` sleeps whole GPUs when the routed rate falls and
+wakes them when demand (or a forecast of it) calls for headroom.
+
+The epoch pipeline the coordinator runs is **gate → route → wake**:
+
+1. **gate** (:meth:`CapacityManager.begin_epoch`) — scheduled transitions
+   land: pre-wakes filed last epoch come online (ready *before* the demand
+   they anticipate), hysteresis sleeps take effect.  The region's routing
+   envelope (SLA caps, capacity) is computed against this awake count.
+2. **route** — the router splits the global rate.  Routing sees *physical*
+   capacity, not awake capacity: it may assign a region more than its
+   awake GPUs can carry, and the region then pays to wake.
+3. **wake** (:meth:`CapacityManager.settle`) — the routed rate is compared
+   against the awake capacity.  A shortfall wakes GPUs *reactively*: they
+   come online only after the policy's wake-up latency, so part of the
+   epoch is served at the pre-wake capacity — the real price of scaling
+   after the demand already arrived.  A forecast-aware router can instead
+   file **pre-wakes** from its lookahead window (via
+   ``Router.capacity_hint``), paying one epoch of extra static draw to
+   have the capacity standing when the demand lands.
+
+Sleeping is guarded by hysteresis so capacity does not flap across the
+wake-latency boundary: a GPU is only gated after the routed rate has sat
+below the *margined* sleep threshold for ``sleep_after_epochs``
+consecutive epochs, and never in an epoch that also woke GPUs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "GatingPolicy",
+    "CapacityDecision",
+    "CapacityManager",
+    "GATING_MODES",
+    "make_gating_policy",
+]
+
+#: Named gating modes accepted by the coordinator/CLI.
+GATING_MODES = ("reactive", "forecast")
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """Knobs of the per-region capacity state machine.
+
+    Attributes
+    ----------
+    target_utilization:
+        Wake so the routed rate stays at or below this fraction of the
+        awake capacity (the region's max-utilization rate scaled to awake
+        GPUs).  Headroom above the nominal 65% sizing, below saturation.
+    sleep_margin:
+        Hysteresis deadband: sizing *down* pretends the rate is this
+        factor larger, so capacity only sleeps once demand has genuinely
+        receded, not at the first sub-threshold epoch.  Must be > 1.
+    sleep_after_epochs:
+        Consecutive epochs the margined rate must fit the smaller awake
+        set before any GPU sleeps.
+    wake_latency_s:
+        How long a reactively-woken GPU takes to come online (rail
+        un-gating plus re-paging model weights into every slice).  Charged
+        as a serving window at the pre-wake capacity.
+    wake_energy_j:
+        Transition energy per woken GPU, charged in the epoch the wake
+        completes.  The default prices the 60 s transition at roughly the
+        board's awake static floor (rails ramp, HBM scrub, weight paging
+        is PCIe-bound, the SMs stay idle) — so a wake never draws more
+        than the always-on draw it was gated from, and a gated epoch's
+        energy can never exceed its always-on twin's (property-tested).
+    min_awake:
+        Floor on the awake count — a region never gates its last GPUs
+        below this (resident floor traffic must stay servable).
+    prewake:
+        Honor the router's capacity hints: file wakes one epoch ahead of
+        forecast demand so they land without a wake window.
+    """
+
+    target_utilization: float = 0.75
+    sleep_margin: float = 1.25
+    sleep_after_epochs: int = 2
+    wake_latency_s: float = 60.0
+    wake_energy_j: float = 2_000.0
+    min_awake: int = 1
+    prewake: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ValueError(
+                f"target utilization must be in (0, 1], got {self.target_utilization}"
+            )
+        if self.sleep_margin <= 1.0:
+            raise ValueError(
+                f"sleep margin must exceed 1 (it is a deadband), "
+                f"got {self.sleep_margin}"
+            )
+        if self.sleep_after_epochs < 1:
+            raise ValueError(
+                f"sleep hysteresis must be >= 1 epoch, got {self.sleep_after_epochs}"
+            )
+        if self.wake_latency_s < 0 or self.wake_energy_j < 0:
+            raise ValueError("wake costs must be non-negative")
+        if self.min_awake < 1:
+            raise ValueError(f"min awake must be >= 1, got {self.min_awake}")
+
+
+def make_gating_policy(mode: str, **kwargs) -> GatingPolicy:
+    """Policy preset by mode name (one of :data:`GATING_MODES`).
+
+    ``"reactive"`` wakes only on observed shortfall, so it keeps the
+    conservative sleep hysteresis — a wrong sleep is paid back through a
+    wake-latency window.  ``"forecast"`` honors the router's pre-wake
+    hints, which changes the economics of sleeping: a predicted rise is
+    met by a pre-wake that lands without a serving gap, so the preset
+    sleeps with a tighter deadband and a shorter low-streak.  Keyword
+    overrides win over the preset.
+    """
+    presets: dict[str, dict] = {
+        "reactive": dict(prewake=False),
+        "forecast": dict(prewake=True, sleep_margin=1.1, sleep_after_epochs=1),
+    }
+    try:
+        preset = presets[mode.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown gating mode {mode!r}; valid: {', '.join(GATING_MODES)}"
+        ) from None
+    return GatingPolicy(**{**preset, **kwargs})
+
+
+@dataclass(frozen=True)
+class CapacityDecision:
+    """One epoch's settled capacity state for one region.
+
+    ``serving_at_start`` < ``awake`` means GPUs were woken reactively this
+    epoch and the region served the first ``wake_delay_s`` seconds at the
+    smaller capacity.  ``woken`` counts every wake transition that
+    completed this epoch (reactive plus matured pre-wakes) for energy
+    charging; ``pending_wakes`` are pre-wakes that land next epoch.
+    """
+
+    awake: int
+    serving_at_start: int
+    woken: int
+    slept: int
+    wake_delay_s: float
+    pending_wakes: int
+
+
+class CapacityManager:
+    """The awake/asleep state machine of one region's GPU pool.
+
+    Parameters
+    ----------
+    n_gpus:
+        Physical pool size.
+    capacity_rate_per_s:
+        The region's max-utilization rate with every GPU awake; awake
+        capacity scales linearly (``capacity * awake / n_gpus``).
+    policy:
+        The gating knobs.
+    """
+
+    def __init__(
+        self, n_gpus: int, capacity_rate_per_s: float, policy: GatingPolicy
+    ) -> None:
+        if n_gpus < 1:
+            raise ValueError(f"a pool needs at least one GPU, got {n_gpus}")
+        if capacity_rate_per_s <= 0:
+            raise ValueError(
+                f"capacity rate must be positive, got {capacity_rate_per_s}"
+            )
+        if policy.min_awake > n_gpus:
+            raise ValueError(
+                f"min awake {policy.min_awake} exceeds the pool of {n_gpus}"
+            )
+        self.n_gpus = n_gpus
+        self.policy = policy
+        self._per_gpu_rate = capacity_rate_per_s / n_gpus
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the boot state: fully provisioned, no scheduled moves.
+
+        The coordinator calls this at the start of every run (alongside
+        ``Router.reset``) so a reused coordinator does not inherit a
+        previous run's awake counts, pending transitions or hysteresis
+        streaks.
+        """
+        self.awake = self.n_gpus  # fleets boot fully provisioned
+        self._pending_wakes = 0
+        self._pending_sleeps = 0
+        self._matured_wakes = 0
+        self._low_streak = 0
+        self.total_wakes = 0
+        self.total_gpu_sleep_epochs = 0
+
+    # ------------------------------------------------------------------ #
+    # sizing arithmetic
+    # ------------------------------------------------------------------ #
+
+    def gpus_for(self, rate_per_s: float, utilization: float) -> int:
+        """Smallest awake count keeping ``rate`` within ``utilization``."""
+        if rate_per_s <= 0.0:
+            return self.policy.min_awake
+        needed = math.ceil(rate_per_s / (utilization * self._per_gpu_rate))
+        return max(self.policy.min_awake, min(self.n_gpus, needed))
+
+    def awake_rate_per_s(self) -> float:
+        """Rate the current awake set carries at full utilization."""
+        return self.awake * self._per_gpu_rate
+
+    # ------------------------------------------------------------------ #
+    # the gate → (route) → wake epoch protocol
+    # ------------------------------------------------------------------ #
+
+    def begin_epoch(self) -> int:
+        """Gate phase: land the transitions scheduled last epoch.
+
+        Pre-wakes filed last epoch come online now — *before* routing —
+        which is exactly what makes them free of the wake window.
+        Hysteresis sleeps land here too: the GPUs finished their previous
+        epoch, drained, and gate down at the boundary.  Returns the awake
+        count the routing envelope must be computed against.
+        """
+        self._matured_wakes = self._pending_wakes
+        self.awake = min(self.n_gpus, self.awake + self._pending_wakes)
+        self._pending_wakes = 0
+        if self._pending_sleeps:
+            self.awake = max(self.policy.min_awake, self.awake - self._pending_sleeps)
+            self._pending_sleeps = 0
+        return self.awake
+
+    def settle(
+        self, routed_rate_per_s: float, hint_rate_per_s: float | None = None
+    ) -> CapacityDecision:
+        """Wake phase: reconcile the routed rate with the awake capacity.
+
+        ``hint_rate_per_s`` is the router's forecast of this region's
+        near-future routed rate (``None`` without pre-wake hints); it
+        files pre-wakes for next epoch and holds capacity awake against a
+        predicted rise, but never wakes reactively by itself.
+        """
+        policy = self.policy
+        start = self.awake
+        needed = self.gpus_for(routed_rate_per_s, policy.target_utilization)
+        reactive = max(0, needed - start)
+        self.awake = start + reactive
+        self.total_wakes += reactive + self._matured_wakes
+
+        # Pre-wake filing: capacity standing by the time the forecast
+        # demand lands, at the price of its static draw in the meantime.
+        pending = 0
+        if policy.prewake and hint_rate_per_s is not None:
+            pending = max(
+                0,
+                self.gpus_for(hint_rate_per_s, policy.target_utilization)
+                - self.awake,
+            )
+        self._pending_wakes = pending
+
+        # Hysteresis sleeps: only in quiet epochs (no wake activity in
+        # either direction), only after a sustained low streak, and sized
+        # against the margined rate so the decision does not flap.
+        slept = 0
+        woke_this_epoch = reactive + self._matured_wakes
+        if woke_this_epoch == 0 and pending == 0:
+            hold_rate = max(routed_rate_per_s, hint_rate_per_s or 0.0)
+            relaxed = self.gpus_for(
+                hold_rate * policy.sleep_margin, policy.target_utilization
+            )
+            if self.awake > relaxed:
+                self._low_streak += 1
+                if self._low_streak >= policy.sleep_after_epochs:
+                    slept = self.awake - relaxed
+                    self._pending_sleeps = slept
+                    self._low_streak = 0
+            else:
+                self._low_streak = 0
+        else:
+            self._low_streak = 0
+
+        self.total_gpu_sleep_epochs += self.n_gpus - self.awake
+        decision = CapacityDecision(
+            awake=self.awake,
+            serving_at_start=start,
+            woken=woke_this_epoch,
+            slept=slept,
+            wake_delay_s=policy.wake_latency_s if reactive > 0 else 0.0,
+            pending_wakes=pending,
+        )
+        self._matured_wakes = 0
+        return decision

@@ -27,6 +27,17 @@ Two demand modes:
   pair.  The degenerate
   ``ConstantDemandModel`` with a single co-located origin reproduces the
   constant path bit-for-bit (asserted in tests).
+
+With elastic capacity (``gating=``) the epoch becomes a **gate → route →
+wake** pipeline: scheduled capacity transitions land before the routing
+envelope is computed, the router splits the rate against physical
+capacity, and each region then reconciles its routed rate with its awake
+pool — waking GPUs reactively (a wake-latency window served at the
+pre-wake capacity) or pre-waking them from the forecast-aware router's
+lookahead hints.  Sleeping GPUs are charged the power model's sleep-state
+watts and wake transitions their reload energy, folded into the per-epoch
+records so every carbon number sees them.  ``gating=None`` (default) is
+the always-on fleet, bit-for-bit the PR-1/PR-2 behaviour.
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.carbon.forecast import make_forecaster
-from repro.core.controller import RunResult
+from repro.core.controller import EpochCapacity, RunResult
 from repro.core.evaluator import CacheStats
 from repro.core.service import FidelityProfile, PAPER_LAMBDA
 from repro.demand import (
@@ -46,6 +57,11 @@ from repro.demand import (
     default_demand,
     default_latency_matrix,
     default_origins,
+)
+from repro.fleet.capacity import (
+    CapacityManager,
+    GatingPolicy,
+    make_gating_policy,
 )
 from repro.fleet.regional import DEFAULT_MAX_UTILIZATION, RegionalService
 from repro.fleet.regions import Region
@@ -98,6 +114,8 @@ class FleetResult:
     origin_plans: tuple[np.ndarray, ...] = ()
     #: The raw end-to-end p95 target shared by every region (demand mode).
     user_sla_target_ms: float | None = None
+    #: Elastic-capacity mode the run used (``None``: always-on).
+    gating_name: str | None = None
 
     # ------------------------------------------------------------------ #
     # global totals
@@ -121,7 +139,14 @@ class FleetResult:
 
     @property
     def carbon_g_per_request(self) -> float:
-        return self.total_carbon_g / self.total_requests
+        """Total carbon over total requests (NaN for a zero-traffic run).
+
+        Gating makes zero-request regions (and, in degenerate scenarios,
+        epochs) routine; the ratio must degrade to NaN, never divide by
+        zero.
+        """
+        total = self.total_requests
+        return self.total_carbon_g / total if total > 0 else float("nan")
 
     @property
     def a_base(self) -> float:
@@ -129,9 +154,21 @@ class FleetResult:
 
     @property
     def mean_accuracy(self) -> float:
-        """Request-weighted accuracy across every region's epochs."""
-        weighted = sum(r.mean_accuracy * r.total_requests for r in self.results)
-        return weighted / self.total_requests
+        """Request-weighted accuracy across every region's epochs.
+
+        Regions that served nothing (fully drained while gated) carry no
+        weight and no defined accuracy; they are skipped rather than
+        letting their NaN poison the fleet mean.
+        """
+        total = self.total_requests
+        if total <= 0:
+            return float("nan")
+        weighted = sum(
+            r.mean_accuracy * r.total_requests
+            for r in self.results
+            if r.total_requests > 0
+        )
+        return weighted / total
 
     @property
     def accuracy_loss_pct(self) -> float:
@@ -161,9 +198,34 @@ class FleetResult:
         """Fraction of all served requests each region carried."""
         total = self.total_requests
         return {
-            region.name: result.total_requests / total
+            region.name: (result.total_requests / total if total > 0 else 0.0)
             for region, result in zip(self.regions, self.results)
         }
+
+    # ------------------------------------------------------------------ #
+    # elastic-capacity views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_gating(self) -> bool:
+        return self.gating_name is not None
+
+    def awake_gpu_series(self) -> np.ndarray:
+        """(epoch x region) awake-GPU counts (full pool where ungated)."""
+        out = np.zeros((len(self.results[0].epochs), len(self.regions)))
+        for j, (region, result) in enumerate(zip(self.regions, self.results)):
+            for i, e in enumerate(result.epochs):
+                out[i, j] = (
+                    e.awake_gpus if e.awake_gpus is not None else region.n_gpus
+                )
+        return out
+
+    @property
+    def mean_awake_fraction(self) -> float:
+        """Average share of the fleet's GPUs that were awake (1.0 always-on)."""
+        totals = np.array([r.n_gpus for r in self.regions], dtype=np.float64)
+        awake = self.awake_gpu_series()
+        return float(awake.sum() / (totals.sum() * awake.shape[0]))
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -210,7 +272,7 @@ class FleetResult:
         totals = np.sum(self.origin_plans, axis=0)  # (origins, regions)
         total = totals.sum()
         return {
-            name: float(totals[i].sum() / total)
+            name: (float(totals[i].sum() / total) if total > 0 else 0.0)
             for i, name in enumerate(self.origin_names)
         }
 
@@ -219,14 +281,18 @@ class FleetResult:
         """(origin x region) share of all routed traffic, summed over epochs."""
         self._require_demand()
         totals = np.sum(self.origin_plans, axis=0)
-        return totals / totals.sum()
+        grand = totals.sum()
+        return totals / grand if grand > 0 else np.zeros_like(totals)
 
     @property
     def mean_net_latency_ms(self) -> float:
         """Traffic-weighted network latency users actually experienced."""
         self._require_demand()
         totals = np.sum(self.origin_plans, axis=0)
-        return float((totals * self.latency_matrix_ms).sum() / totals.sum())
+        grand = float(totals.sum())
+        if grand <= 0:
+            return float("nan")
+        return float((totals * self.latency_matrix_ms).sum() / grand)
 
     def _user_targets_ms(self) -> np.ndarray:
         """Per-region raw end-to-end p95 targets (tightening undone)."""
@@ -281,10 +347,11 @@ class FleetResult:
             "p95+net(ms)", "SLA%", "CacheHit%",
         )
         by_region = self.cache_stats_by_region
+        grand_total = self.total_requests
         rows = []
         for region, result in zip(self.regions, self.results):
             requests = result.total_requests
-            share = requests / self.total_requests * 100.0
+            share = requests / grand_total * 100.0 if grand_total > 0 else 0.0
             met = sum(
                 e.requests
                 for e in result.epochs
@@ -296,9 +363,9 @@ class FleetResult:
                     f"{share:.1f}",
                     f"{region.trace.mean():.0f}",
                     f"{result.total_carbon_g:,.0f}",
-                    f"{result.accuracy_loss_pct:.2f}",
+                    f"{result.accuracy_loss_pct:.2f}" if requests > 0 else "-",
                     f"{result.p95_ms + region.net_latency_ms:.1f}",
-                    f"{met / requests * 100.0:.1f}",
+                    f"{met / requests * 100.0:.1f}" if requests > 0 else "-",
                     f"{100 * by_region[region.name].hit_rate:.1f}",
                 )
             )
@@ -323,17 +390,27 @@ class FleetResult:
         totals = np.sum(self.origin_plans, axis=0)
         lat = self.latency_matrix_ms
         met, cell_totals = self._met_matrix()
+        grand = float(totals.sum())
         rows = []
         for i, name in enumerate(self.origin_names):
             row_total = float(totals[i].sum())
+            if row_total <= 0:
+                # An origin can be routed nothing over a short or fully
+                # gated window; its shares and latencies are undefined.
+                rows.append((name, "0.0", "-", "-", "-"))
+                continue
             mean_lat = float((totals[i] * lat[i]).sum() / row_total)
             top = int(np.argmax(totals[i]))
+            cell_total = float(cell_totals[i].sum())
+            user_sla = (
+                f"{100 * met[i].sum() / cell_total:.1f}" if cell_total > 0 else "-"
+            )
             rows.append(
                 (
                     name,
-                    f"{100 * row_total / totals.sum():.1f}",
+                    f"{100 * row_total / grand:.1f}",
                     f"{mean_lat:.1f}",
-                    f"{100 * met[i].sum() / cell_totals[i].sum():.1f}",
+                    user_sla,
                     f"{self.regions[top].name} "
                     f"({100 * totals[i, top] / row_total:.0f}%)",
                 )
@@ -354,6 +431,7 @@ class FleetCoordinator:
         ramp_share_per_h: float | None = None,
         drain_share_per_h: float | None = None,
         forecaster: str = "diurnal",
+        gating: GatingPolicy | str | None = None,
     ) -> None:
         if not services:
             raise ValueError("a fleet needs at least one region")
@@ -442,6 +520,43 @@ class FleetCoordinator:
                 make_forecaster(forecaster, s.region.trace)
                 for s in self.services
             ]
+        # Elastic capacity: one awake/asleep state machine per region.
+        # ``None`` keeps the always-on fleet — the bit-for-bit seed path.
+        if isinstance(gating, str):
+            gating = make_gating_policy(gating)
+        self.gating = gating
+        self.gating_name = (
+            None if gating is None
+            else ("forecast" if gating.prewake else "reactive")
+        )
+        self._managers = None
+        if gating is not None:
+            # The fleet's accounting advertises (and property-tests) that a
+            # gated epoch never out-spends its always-on twin.  That holds
+            # iff a wake transition draws no more than the awake static
+            # floor it was gated from — enforce the bound against each
+            # region's power model rather than let a custom policy
+            # silently break the invariant.
+            for s in services:
+                ceiling = (
+                    s.power_model.static_watts_per_gpu() * gating.wake_latency_s
+                )
+                if gating.wake_energy_j > ceiling * (1.0 + 1e-9):
+                    raise ValueError(
+                        f"wake energy {gating.wake_energy_j:g} J exceeds the "
+                        f"static draw over the wake window "
+                        f"({ceiling:g} J for region {s.region.name!r}); a "
+                        "gated epoch would out-spend its always-on twin — "
+                        "raise wake_latency_s or lower wake_energy_j"
+                    )
+            self._managers = [
+                CapacityManager(
+                    n_gpus=s.region.n_gpus,
+                    capacity_rate_per_s=s.capacity_rate_per_s,
+                    policy=gating,
+                )
+                for s in self.services
+            ]
 
     @classmethod
     def create(
@@ -466,6 +581,7 @@ class FleetCoordinator:
         drain_share_per_h: float | None = None,
         lookahead_h: float | None = None,
         forecaster: str = "diurnal",
+        gating: GatingPolicy | str | None = None,
     ) -> "FleetCoordinator":
         """Assemble one regional service per region plus the router.
 
@@ -486,7 +602,11 @@ class FleetCoordinator:
         forecast-aware
         router's horizon; ``ramp_share_per_h`` / ``drain_share_per_h``
         bound how fast a region's share may grow / shrink per hour
-        (``None`` = unconstrained, the PR-1 semantics).
+        (``None`` = unconstrained, the PR-1 semantics).  ``gating`` turns
+        on elastic GPU capacity: a :class:`~repro.fleet.GatingPolicy`, or
+        a mode name (``"reactive"`` wakes on observed shortfall,
+        ``"forecast"`` additionally pre-wakes from the router's lookahead
+        hints); ``None`` keeps every GPU always on.
         """
         if isinstance(fidelity, str):
             fidelity = FidelityProfile.by_name(fidelity)
@@ -568,6 +688,7 @@ class FleetCoordinator:
             ramp_share_per_h=ramp_share_per_h,
             drain_share_per_h=drain_share_per_h,
             forecaster=forecaster,
+            gating=gating,
         )
 
     # ------------------------------------------------------------------ #
@@ -594,6 +715,16 @@ class FleetCoordinator:
         if self._forecasters is not None:
             lookahead = float(getattr(self.router, "lookahead_h", 0.0))
             forecast = self._window_forecast(t_h, lookahead)
+        forecast_rate = None
+        if self.gating is not None and self.gating.prewake:
+            # Pre-wake hints project one epoch ahead — the wake lead time.
+            # The demand model doubles as a short-horizon demand forecast
+            # (it is deterministic); constant fleets predict persistence.
+            forecast_rate = (
+                global_rate
+                if self.demand is None
+                else float(self.demand.total_rate(t_h + self.step_s / 3600.0))
+            )
         return RoutingContext(
             t_h=t_h,
             global_rate_per_s=global_rate,
@@ -609,6 +740,7 @@ class FleetCoordinator:
             prev_shares=prev_shares,
             max_ramp_share=self.max_ramp_share,
             max_drain_share=self.max_drain_share,
+            forecast_global_rate_per_s=forecast_rate,
         )
 
     #: Quadrature points for the window-mean forecast per epoch.
@@ -655,14 +787,60 @@ class FleetCoordinator:
 
         return fn
 
+    def _settle_capacity(
+        self, ctx: RoutingContext, rates: np.ndarray
+    ) -> list[EpochCapacity]:
+        """Wake phase of the gate→route→wake pipeline.
+
+        Reconciles each region's routed rate with its awake pool (waking
+        reactively on shortfall, filing pre-wakes from the router's
+        capacity hints) and prices the epoch's elastic-capacity energy:
+        sleeping GPUs at the power model's sleep-state watts, wake
+        transitions at the policy's transition energy.
+        """
+        hints = None
+        if self.gating.prewake:
+            hints = self.router.capacity_hint(ctx)
+        capacities = []
+        for r, (svc, mgr) in enumerate(zip(self.services, self._managers)):
+            hint = float(hints[r]) if hints is not None else None
+            decision = mgr.settle(float(rates[r]), hint_rate_per_s=hint)
+            svc.set_awake(decision.awake)
+            sleeping = svc.region.n_gpus - decision.awake
+            aux_energy = (
+                svc.power_model.sleep_watts_per_gpu() * sleeping * self.step_s
+                + self.gating.wake_energy_j * decision.woken
+            )
+            capacities.append(
+                EpochCapacity(
+                    awake_gpus=decision.awake,
+                    serving_gpus_at_start=decision.serving_at_start,
+                    wake_delay_s=decision.wake_delay_s,
+                    aux_energy_j=aux_energy,
+                )
+            )
+        return capacities
+
     def run(self, duration_h: float | None = None) -> FleetResult:
-        """Route and serve the global workload for ``duration_h`` hours."""
+        """Route and serve the global workload for ``duration_h`` hours.
+
+        With gating enabled every epoch runs the gate→route→wake
+        pipeline: scheduled capacity transitions land first (the routing
+        envelope sees the gated pool), the router splits the global rate
+        against *physical* capacity, and each region then reconciles its
+        routed rate with its awake GPUs — waking reactively (and paying
+        the wake-latency window) or banking pre-wakes for the next epoch.
+        """
         if duration_h is None:
             duration_h = min(s.region.trace.span_h for s in self.services)
         n_epochs = self.services[0].controller.n_epochs(duration_h)
-        # Routers may carry cross-epoch state (pending forecasts, regret
-        # statistics); a fresh run must not inherit a previous run's.
+        # Routers and capacity managers carry cross-epoch state (pending
+        # forecasts, regret statistics, awake counts, scheduled sleeps); a
+        # fresh run must not inherit a previous run's.
         self.router.reset()
+        if self._managers is not None:
+            for mgr in self._managers:
+                mgr.reset()
         results = [s.begin_run() for s in self.services]
         # Under ramp limits the fleet starts from the static geo-DNS
         # position (capacity-proportional) and must *walk* anywhere else —
@@ -683,6 +861,12 @@ class FleetCoordinator:
         ) - self.SLA_PLANNING_MARGIN_MS
         for i in range(n_epochs):
             t_h = i * self.step_s / 3600.0
+            if self._managers is not None:
+                # Gate phase: pre-wakes and hysteresis sleeps scheduled
+                # last epoch land now, before the routing envelope is
+                # computed — SLA caps must see the pool that will serve.
+                for svc, mgr in zip(self.services, self._managers):
+                    svc.set_awake(mgr.begin_epoch())
             if self.demand is not None:
                 origin_rates = self.demand.rates(t_h)
                 global_rate = float(origin_rates.sum())
@@ -723,8 +907,15 @@ class FleetCoordinator:
                     prev_plan = plan
                 plans.append(plan)
             prev_shares = rates / global_rate
-            for service, result, rate in zip(self.services, results, rates):
-                service.step(result, i, t_h, float(rate))
+            capacities = (
+                self._settle_capacity(ctx, rates)
+                if self._managers is not None
+                else [None] * len(self.services)
+            )
+            for service, result, rate, cap in zip(
+                self.services, results, rates, capacities
+            ):
+                service.step(result, i, t_h, float(rate), capacity=cap)
         for service, result in zip(self.services, results):
             service.finalize(result)
         demand_fields = {}
@@ -743,5 +934,6 @@ class FleetCoordinator:
             global_rate_per_s=self.global_rate_per_s,
             regions=tuple(s.region for s in self.services),
             results=tuple(results),
+            gating_name=self.gating_name,
             **demand_fields,
         )

@@ -15,7 +15,7 @@ caches, same accounting arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -48,12 +48,21 @@ PRE_DEPLOYMENT_BUDGET_SLACK_MS = 10.0
 
 @dataclass
 class RegionalService:
-    """One region's fully-assembled service plus its routing envelope."""
+    """One region's fully-assembled service plus its routing envelope.
+
+    With elastic capacity enabled the coordinator drives
+    :meth:`set_awake` every epoch; the routing envelope
+    (:meth:`sla_safe_rate`, :attr:`awake_capacity_rate_per_s`) and every
+    evaluator probe are then computed against the *awake* GPU subset, not
+    the physical pool.  Fully awake (the default) is the seed path.
+    """
 
     region: Region
     service: CarbonAwareInferenceService
     nominal_rate_per_s: float
     capacity_rate_per_s: float
+    #: Awake-GPU override (``None`` = fully awake, the always-on path).
+    _awake_gpus: int | None = field(default=None, init=False, repr=False)
 
     @classmethod
     def create(
@@ -164,13 +173,72 @@ class RegionalService:
         """The region's grid carbon intensity at trace time ``t_h``."""
         return self.controller.monitor.observe(t_h)
 
+    # ------------------------------------------------------------------ #
+    # elastic capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def power_model(self):
+        """The region's node power model (sleep-state watts live here)."""
+        return self.controller.measure_evaluator.perf.power
+
+    @property
+    def awake_gpus(self) -> int:
+        """GPUs currently online (the full pool unless gated)."""
+        n = self.region.n_gpus
+        return n if self._awake_gpus is None else self._awake_gpus
+
+    @property
+    def awake_capacity_rate_per_s(self) -> float:
+        """The capacity cap scaled to the awake subset.
+
+        Fully awake returns the stored cap untouched (``x * n / n`` does
+        not always round-trip in IEEE floats, and the always-on path must
+        stay bit-for-bit the seed path).
+        """
+        if self._awake_gpus is None:
+            return self.capacity_rate_per_s
+        return (
+            self.capacity_rate_per_s * self._awake_gpus / self.region.n_gpus
+        )
+
+    def set_awake(self, awake_gpus: int | None) -> None:
+        """Gate the region to ``awake_gpus`` online GPUs.
+
+        Caps both evaluators (optimization candidates and DES
+        measurements) to the awake subset, so SLA-cap bisections and the
+        controller's accounting all see the gated cluster.  ``None`` or
+        the full pool restores the bit-for-bit always-on path.
+        """
+        n = self.region.n_gpus
+        if awake_gpus is not None and not 1 <= awake_gpus <= n:
+            raise ValueError(
+                f"awake GPUs must be in [1, {n}], got {awake_gpus}"
+            )
+        normalized = (
+            None if awake_gpus is None or awake_gpus >= n else awake_gpus
+        )
+        self._awake_gpus = normalized
+        self.controller.measure_evaluator.set_awake_gpus(normalized)
+        opt_evaluator = getattr(self.service.scheme, "evaluator", None)
+        if opt_evaluator is not None:
+            opt_evaluator.set_awake_gpus(normalized)
+
     def begin_run(self) -> RunResult:
+        self.set_awake(None)  # a fresh run boots fully provisioned
         return self.controller.begin_run()
 
     def step(
-        self, result: RunResult, index: int, t_h: float, rate_per_s: float
+        self,
+        result: RunResult,
+        index: int,
+        t_h: float,
+        rate_per_s: float,
+        capacity=None,
     ) -> EpochRecord:
-        return self.controller.step(result, index, t_h, rate_per_s)
+        return self.controller.step(
+            result, index, t_h, rate_per_s, capacity=capacity
+        )
 
     def finalize(self, result: RunResult) -> RunResult:
         return self.controller.finalize(result)
@@ -194,6 +262,10 @@ class RegionalService:
         violates the budget — it returns the capacity cap or zero
         respectively; zero means the region can only carry its
         un-shiftable floor traffic this epoch.
+
+        All of it is priced against the *awake* capacity: while GPUs are
+        gated, both the upper bisection bound and every p95 probe see the
+        trimmed cluster, so the envelope honestly shrinks with the pool.
         """
         budget = self.sla_target_ms if budget_ms is None else budget_ms
         if budget <= 0.0:
@@ -208,7 +280,7 @@ class RegionalService:
             # on a configuration that hasn't been measured.
             slack = PRE_DEPLOYMENT_BUDGET_SLACK_MS
             return (
-                self.capacity_rate_per_s
+                self.awake_capacity_rate_per_s
                 if budget >= self.sla_target_ms - slack
                 else 0.0
             )
@@ -217,7 +289,7 @@ class RegionalService:
         def p95_at(rate: float) -> float:
             return estimator.evaluate(deployed, rate_per_s=rate).p95_ms
 
-        hi = self.capacity_rate_per_s
+        hi = self.awake_capacity_rate_per_s
         if p95_at(hi) <= budget:
             return hi
         lo = 0.01 * self.nominal_rate_per_s

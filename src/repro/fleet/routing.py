@@ -38,7 +38,7 @@ behaviour.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -92,6 +92,11 @@ class RoutingContext:
     prev_shares: np.ndarray | None = None
     max_ramp_share: float = 1.0
     max_drain_share: float | None = None
+    #: Predicted *global* arrival rate one epoch ahead (``None`` unless the
+    #: coordinator runs pre-wake gating).  Routers use it to project where
+    #: the next epoch's traffic will land, so capacity can be woken ahead
+    #: of the demand instead of behind it.
+    forecast_global_rate_per_s: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.max_ramp_share <= 1.0:
@@ -169,6 +174,17 @@ class Router(ABC):
         instance can be reused across runs (and fleets) without leaking
         pending forecasts or regret statistics between them.
         """
+
+    def capacity_hint(self, ctx: RoutingContext) -> np.ndarray | None:
+        """Per-region rates the policy expects to route in the near future.
+
+        Pre-wake gating consults this to wake GPUs *before* the demand
+        lands (a wake completes within one epoch, so the hint's horizon is
+        the next epoch).  ``None`` — the default — means the policy offers
+        no projection and gated regions fall back to reactive wakes, which
+        pay the wake-latency window.
+        """
+        return None
 
     def rates(self, ctx: RoutingContext) -> np.ndarray:
         """Convenience: the per-region arrival rates this epoch."""
@@ -439,6 +455,29 @@ class ForecastAwareRouter(Router):
 
     def split(self, ctx: RoutingContext) -> np.ndarray:
         return _water_fill(ctx, self.region_order(ctx)) / ctx.global_rate_per_s
+
+    def capacity_hint(self, ctx: RoutingContext) -> np.ndarray | None:
+        """Project next-epoch per-region rates from the lookahead window.
+
+        Replays the water-fill with (a) regions ordered by the *forecast*
+        effective intensity — where this policy will be steering traffic
+        shortly — and (b) the predicted global rate one epoch ahead.  The
+        pre-wake request each gated region receives is its rate in that
+        projection.  Deliberately does not call :meth:`_score`: the hint
+        must not file or settle regret-guard predictions, which happen
+        exactly once per epoch in the real split.
+        """
+        if (
+            ctx.effective_forecast_ci is None
+            or ctx.forecast_global_rate_per_s is None
+            or ctx.forecast_global_rate_per_s <= 0.0
+        ):
+            return None
+        order = np.argsort(ctx.effective_forecast_ci, kind="stable")
+        projected = replace(
+            ctx, global_rate_per_s=float(ctx.forecast_global_rate_per_s)
+        )
+        return _water_fill(projected, order)
 
 
 def plan_origin_cells(

@@ -148,11 +148,17 @@ class GpuCluster:
 
         GPUs repartition in parallel (each has its own MIG control), so the
         service-visible downtime is the maximum over devices, not the sum.
+
+        The call is atomic: every partition id is validated *before* any
+        device is touched, so an invalid id midway can never leave the
+        cluster half-repartitioned.
         """
         if len(partition_ids) != self.n_gpus:
             raise ValueError(
                 f"expected {self.n_gpus} partition ids, got {len(partition_ids)}"
             )
+        for pid in partition_ids:
+            partition_by_id(pid)  # raises on an unknown id, pre-mutation
         downtimes = [
             dev.repartition(pid) for dev, pid in zip(self.devices, partition_ids)
         ]
@@ -171,10 +177,68 @@ class GpuCluster:
             h += dev.partition.histogram()
         return h
 
+    # ------------------------------------------------------------------ #
+    # awake / asleep masks (elastic capacity)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def awake_mask(self) -> tuple[bool, ...]:
+        """Per-device awake flags, in ``gpu_id`` order."""
+        return tuple(d.awake for d in self.devices)
+
+    @property
+    def n_awake(self) -> int:
+        """How many devices are currently awake (serving-capable)."""
+        return sum(1 for d in self.devices if d.awake)
+
+    def set_awake_count(self, n_awake: int) -> float:
+        """Sleep or wake devices so exactly ``n_awake`` are online.
+
+        Devices sleep from the highest ``gpu_id`` down and wake from the
+        lowest up, so the awake set is always a ``gpu_id`` prefix.  (The
+        serving path's :class:`~repro.core.evaluator.ConfigEvaluator`
+        works one level up, on placement-free canonical configurations —
+        it keeps the first awake *canonical* assignments; map canonical
+        order onto ``gpu_id`` order when driving physical devices from an
+        evaluator decision.)  Returns the wake downtime in seconds (max
+        over woken devices; they wake in parallel), 0.0 when only
+        sleeping.
+        """
+        if not 1 <= n_awake <= self.n_gpus:
+            raise ValueError(
+                f"awake count must be in [1, {self.n_gpus}], got {n_awake}"
+            )
+        downtimes = [0.0]
+        for i, dev in enumerate(self.devices):
+            if i < n_awake:
+                downtimes.append(dev.wake())
+            else:
+                dev.sleep()
+        return max(downtimes)
+
+    def awake_histogram(self) -> np.ndarray:
+        """Slice-type histogram over *awake* devices only.
+
+        This is the histogram the feasibility layer must use while GPUs
+        sleep: a slice on a gated GPU exists but cannot serve, so the
+        feasible cluster-wide histogram shrinks to the awake subset
+        (``histogram_is_feasible(awake_histogram(), n_awake)``).
+        """
+        h = np.zeros(len(SLICE_TYPES), dtype=np.int64)
+        for dev in self.devices:
+            if dev.awake:
+                h += dev.partition.histogram()
+        return h
+
     @property
     def total_instances(self) -> int:
         """Number of service instances the current partitioning hosts."""
         return sum(d.num_instances for d in self.devices)
+
+    @property
+    def awake_instances(self) -> int:
+        """Service instances hosted on awake devices (serving capacity)."""
+        return sum(d.num_instances for d in self.devices if d.awake)
 
     def describe(self) -> str:
         """Human-readable one-liner, e.g. ``'10xA100-40GB [#1, #1, ...]'``."""

@@ -6,6 +6,13 @@ hardware and reinitialize the new service instances" in all reported
 results).  Repartitioning an A100 requires destroying the existing GPU
 instances, creating new ones, and reloading model weights into each slice —
 tens of seconds in practice.
+
+It also tracks an **awake/asleep** state for the elastic-capacity
+subsystem: a sleeping GPU keeps its MIG partition (nothing is destroyed)
+but serves no traffic and draws only the power model's sleep-state watts.
+Going to sleep is free (power gating down is near-instant); waking pays the
+wake latency plus one model load per hosted slice, because weights must be
+re-paged into every instance.
 """
 
 from __future__ import annotations
@@ -35,11 +42,16 @@ class GpuSpec:
     memory_gb: float
     repartition_seconds: float = 12.0
     model_load_seconds: float = 4.0
+    wake_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.peak_tflops <= 0 or self.memory_gb <= 0:
             raise ValueError("GPU spec must have positive throughput and memory")
-        if self.repartition_seconds < 0 or self.model_load_seconds < 0:
+        if (
+            self.repartition_seconds < 0
+            or self.model_load_seconds < 0
+            or self.wake_seconds < 0
+        ):
             raise ValueError("reconfiguration costs must be non-negative")
 
 
@@ -54,7 +66,9 @@ class GpuDevice:
     gpu_id: int
     spec: GpuSpec = A100_40GB
     partition_id: int = FULL_GPU_PARTITION_ID
+    awake: bool = True
     reconfig_count: int = field(default=0, init=False)
+    wake_count: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         partition_by_id(self.partition_id)  # validates the id
@@ -89,6 +103,33 @@ class GpuDevice:
         return (
             self.spec.repartition_seconds
             + self.spec.model_load_seconds * new_partition.num_instances
+        )
+
+    def sleep(self) -> float:
+        """Power-gate the device; returns the transition time in seconds.
+
+        Sleeping keeps the MIG partition intact (waking does not require a
+        repartition) and is modeled as free: gating rails down completes in
+        milliseconds, far below the control-epoch resolution.  Sleeping an
+        already-sleeping device is a no-op.
+        """
+        self.awake = False
+        return 0.0
+
+    def wake(self) -> float:
+        """Bring a sleeping device back online; returns the downtime.
+
+        The cost is the spec's wake latency plus one model load per hosted
+        slice — weights were evicted when the rails gated down.  Waking an
+        already-awake device is free.
+        """
+        if self.awake:
+            return 0.0
+        self.awake = True
+        self.wake_count += 1
+        return (
+            self.spec.wake_seconds
+            + self.spec.model_load_seconds * self.num_instances
         )
 
     def reload_models(self, num_slices_changed: int) -> float:

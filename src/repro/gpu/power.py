@@ -14,6 +14,22 @@ Because idle power is paid per *GPU* rather than per *slice*, packing many
 small busy slices onto one GPU amortizes the idle draw over more requests —
 this is exactly the Fig. 3 effect (finer partitioning lowers carbon per
 request at fixed load).
+
+Sleep-state calibration
+-----------------------
+The elastic-capacity subsystem (:mod:`repro.fleet.capacity`) can put whole
+GPUs into a deep sleep state when routed traffic falls.  A sleeping GPU
+draws :attr:`PowerModel.sleep_watts` *total* — board rails gated down plus
+the residual host-side share (its DRAM refresh, fan floor and NIC keep-alive
+are attributed to the awake pool).  The 6 W default is calibrated the same
+way as the rest of the model: datacenter-class accelerators report low
+single-digit watts in their deepest runtime-managed sleep states, and the
+value is chosen so that sleeping a GPU recovers ~80-85% of its awake static
+draw (``idle_watts + host_watts_per_gpu`` = 35 W by default).  Waking is not
+free: the capacity manager charges a configurable transition energy (model
+weights are re-paged into every slice) and a wake-up latency during which
+the GPU serves nothing — that latency is the real price of reactive
+capacity scaling.
 """
 
 from __future__ import annotations
@@ -40,22 +56,43 @@ class PowerModel:
     Attributes
     ----------
     idle_watts:
-        GPU idle draw (MIG enabled, no kernels running).
+        GPU idle draw (MIG enabled, no kernels running).  Zero is legal:
+        an ideally power-gated board idles for free.
     peak_dynamic_watts:
         Additional draw of a fully-utilized full GPU (so TDP = idle + peak).
     host_watts_per_gpu:
         Host-side (CPU/DRAM/NIC) draw attributed to each GPU.
+    sleep_watts:
+        Total draw of a GPU in the deep sleep state (board residuals plus
+        its share of host keep-alive); see the module docstring for the
+        calibration.  Must not exceed the awake static draw.
     """
 
     idle_watts: float = 20.0
     peak_dynamic_watts: float = 360.0
     host_watts_per_gpu: float = 15.0
+    sleep_watts: float = 6.0
 
     def __post_init__(self) -> None:
-        if self.idle_watts < 0 or self.peak_dynamic_watts <= 0:
-            raise ValueError("power parameters must be positive")
+        if self.idle_watts < 0:
+            raise ValueError(
+                f"idle power must be non-negative, got {self.idle_watts}"
+            )
+        if self.peak_dynamic_watts <= 0:
+            raise ValueError(
+                f"peak dynamic power must be positive, got {self.peak_dynamic_watts}"
+            )
         if self.host_watts_per_gpu < 0:
             raise ValueError("host power must be non-negative")
+        if self.sleep_watts < 0:
+            raise ValueError(
+                f"sleep power must be non-negative, got {self.sleep_watts}"
+            )
+        if self.sleep_watts > self.idle_watts + self.host_watts_per_gpu:
+            raise ValueError(
+                f"sleep power ({self.sleep_watts} W) cannot exceed the awake "
+                f"static draw ({self.idle_watts + self.host_watts_per_gpu} W)"
+            )
 
     @property
     def tdp_watts(self) -> float:
@@ -70,30 +107,38 @@ class PowerModel:
         slice_type:
             The MIG slice hosting the work.
         intensity:
-            Model-specific compute intensity in (0, 1]; a memory-bound or tiny
-            model does not drive the SMs at peak power.
+            Model-specific compute intensity in [0, 1]; a memory-bound or
+            tiny model does not drive the SMs at peak power, and a fully
+            memory-bound model (intensity 0) adds no dynamic draw at all.
         """
-        if not 0.0 < intensity <= 1.0:
-            raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {intensity}")
         return self.peak_dynamic_watts * slice_type.compute_fraction * intensity
 
     def static_watts_per_gpu(self) -> float:
-        """Always-on draw attributable to one GPU (idle + host share)."""
+        """Always-on draw attributable to one awake GPU (idle + host share)."""
         return self.idle_watts + self.host_watts_per_gpu
+
+    def sleep_watts_per_gpu(self) -> float:
+        """Total draw attributable to one sleeping GPU."""
+        return self.sleep_watts
 
     def gpu_power(
         self,
         busy_slices: list[tuple[SliceType, float, float]],
     ) -> float:
-        """Total instantaneous power of one GPU.
+        """Total instantaneous power of one awake GPU.
 
         ``busy_slices`` holds ``(slice_type, utilization, intensity)`` per
         hosted slice; ``utilization`` in [0, 1] is the fraction of time the
-        slice is processing a request.
+        slice is processing a request.  A slice with zero utilization is
+        hosted but idle and contributes nothing beyond the static draw.
         """
         power = self.static_watts_per_gpu()
         for slice_type, utilization, intensity in busy_slices:
             if not 0.0 <= utilization <= 1.0:
                 raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+            if utilization == 0.0:
+                continue
             power += utilization * self.slice_dynamic_watts(slice_type, intensity)
         return power

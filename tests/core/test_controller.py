@@ -206,3 +206,96 @@ class TestCacheReporting:
         full_epoch, half_epoch = result.epochs[1], result.epochs[2]
         assert half_epoch.requests == pytest.approx(0.5 * full_epoch.requests)
         assert half_epoch.rate_per_s == half
+
+
+class TestEpochCapacity:
+    """Elastic-capacity accounting through the step API."""
+
+    def test_validation(self):
+        from repro.core.controller import EpochCapacity
+
+        with pytest.raises(ValueError):
+            EpochCapacity(awake_gpus=0)
+        with pytest.raises(ValueError):
+            EpochCapacity(awake_gpus=2, serving_gpus_at_start=3)
+        with pytest.raises(ValueError):
+            EpochCapacity(awake_gpus=2, wake_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            EpochCapacity(awake_gpus=2, aux_energy_j=-1.0)
+        assert EpochCapacity(awake_gpus=2).start_gpus == 2
+
+    def test_gated_epoch_uses_less_energy(self, parts):
+        from repro.core.controller import EpochCapacity
+
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.begin_run()
+        controller.step(result, 0, 0.0)  # warm-up deploys BASE on 2 GPUs
+        full = controller.step(result, 1, 0.5, rate_per_s=None)
+        quarter = 0.25 * controller.rate_per_s
+        gated = controller.step(
+            result, 2, 1.0, rate_per_s=quarter,
+            capacity=EpochCapacity(awake_gpus=1, aux_energy_j=100.0),
+        )
+        assert gated.awake_gpus == 1
+        assert gated.num_instances == 1
+        assert gated.energy_j < full.energy_j
+        assert full.awake_gpus is None
+
+    def test_aux_energy_lands_in_the_record(self, parts):
+        from repro.core.controller import EpochCapacity
+
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.begin_run()
+        controller.step(result, 0, 0.0)
+        rate = 0.25 * controller.rate_per_s
+        plain = controller.step(
+            result, 1, 0.5, rate_per_s=rate,
+            capacity=EpochCapacity(awake_gpus=1),
+        )
+        charged = controller.step(
+            result, 2, 1.0, rate_per_s=rate,
+            capacity=EpochCapacity(awake_gpus=1, aux_energy_j=5000.0),
+        )
+        assert charged.energy_j == pytest.approx(plain.energy_j + 5000.0)
+        assert charged.carbon_g > plain.carbon_g
+
+    def test_reactive_wake_window_degrades_the_tail(self, parts):
+        """A wake epoch is measured partly at the pre-wake capacity: with
+        the full rate landing on half the cluster, the blended p95 must
+        sit above the steady post-wake measurement."""
+        from repro.core.controller import EpochCapacity
+
+        controller = build_controller(parts, "base", flat_trace())
+        result = controller.begin_run()
+        controller.step(result, 0, 0.0)
+        steady = controller.step(result, 1, 0.5, rate_per_s=None)
+        woke = controller.step(
+            result, 2, 1.0, rate_per_s=controller.rate_per_s,
+            capacity=EpochCapacity(
+                awake_gpus=2, serving_gpus_at_start=1, wake_delay_s=300.0,
+            ),
+        )
+        assert woke.awake_gpus == 2
+        assert woke.p95_ms > steady.p95_ms
+
+    def test_capacity_cleared_between_steps(self, parts):
+        """An ungated step after a gated one must be indistinguishable
+        from the seed loop (the awake cap must not leak)."""
+        from repro.core.controller import EpochCapacity
+
+        gated_then_plain = build_controller(parts, "base", flat_trace())
+        result = gated_then_plain.begin_run()
+        gated_then_plain.step(result, 0, 0.0)
+        gated_then_plain.step(
+            result, 1, 0.5, rate_per_s=0.25 * gated_then_plain.rate_per_s,
+            capacity=EpochCapacity(awake_gpus=1),
+        )
+        after = gated_then_plain.step(result, 2, 1.0, rate_per_s=None)
+
+        plain = build_controller(parts, "base", flat_trace())
+        ref_result = plain.begin_run()
+        plain.step(ref_result, 0, 0.0)
+        plain.step(ref_result, 1, 0.5, rate_per_s=None)
+        reference = plain.step(ref_result, 2, 1.0, rate_per_s=None)
+        assert after.p95_ms == reference.p95_ms
+        assert after.energy_j == reference.energy_j

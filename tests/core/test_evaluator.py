@@ -210,3 +210,86 @@ class TestRateOverride:
         fam = zoo.family("efficientnet")
         with pytest.raises(ValueError, match="rate"):
             evaluator.evaluate(base_config(fam, 4), rate_per_s=0.0)
+
+
+class TestAwakeGpus:
+    """Elastic capacity: evaluations capped to the awake GPU subset."""
+
+    def test_trimmed_evaluation_shrinks_cluster(self, zoo, evaluator):
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        full = evaluator.evaluate(cfg)
+        evaluator.set_awake_gpus(2)
+        half = evaluator.evaluate(cfg, rate_per_s=0.25 * evaluator.rate_per_s)
+        assert half.num_instances == 2
+        assert half.power_watts < full.power_watts  # two static floors gone
+
+    def test_static_power_charged_for_awake_only(self, zoo, perf, evaluator):
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        evaluator.set_awake_gpus(3)
+        ev = evaluator.evaluate(cfg, rate_per_s=0.1 * evaluator.rate_per_s)
+        static3 = 3 * perf.power.static_watts_per_gpu()
+        assert static3 <= ev.power_watts < static3 + perf.power.peak_dynamic_watts
+
+    def test_full_awake_is_identical_to_unset(self, zoo, evaluator):
+        """awake == n_gpus must be byte-identical to the always-on path:
+        the same cache entry answers both."""
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        baseline = evaluator.evaluate(cfg)
+        evaluator.set_awake_gpus(4)
+        assert evaluator.evaluate(cfg) is baseline  # cache hit, same key
+        evaluator.set_awake_gpus(None)
+        assert evaluator.evaluate(cfg) is baseline
+
+    def test_gated_cache_entries_keyed_by_awake_count(self, zoo, evaluator):
+        """Gated evaluations live under (graph, rate, awake) keys: the
+        same configuration at the same rate under two awake counts yields
+        two distinct cache entries with different static draws."""
+        fam = zoo.family("efficientnet")
+        cfg = base_config(fam, 4)
+        rate = 0.1 * evaluator.rate_per_s
+        evaluator.set_awake_gpus(2)
+        at2 = evaluator.evaluate(cfg, rate_per_s=rate)
+        evaluator.set_awake_gpus(3)
+        at3 = evaluator.evaluate(cfg, rate_per_s=rate)
+        assert evaluator.cache_misses >= 2
+        assert at3.power_watts > at2.power_watts
+        # Re-asking either count hits its own entry.
+        evaluator.set_awake_gpus(2)
+        assert evaluator.evaluate(cfg, rate_per_s=rate) is at2
+
+    def test_awake_bounds_validated(self, evaluator):
+        with pytest.raises(ValueError, match="awake"):
+            evaluator.set_awake_gpus(0)
+        with pytest.raises(ValueError, match="awake"):
+            evaluator.set_awake_gpus(5)
+
+    def test_graph_evaluation_rejected_while_gated(self, zoo, evaluator):
+        from repro.core.graph import ConfigGraph
+
+        fam = zoo.family("efficientnet")
+        graph = ConfigGraph.from_config(base_config(fam, 4), fam.num_variants)
+        evaluator.set_awake_gpus(2)
+        with pytest.raises(ValueError, match="partially-awake"):
+            evaluator.evaluate_graph(graph)
+        evaluator.set_awake_gpus(None)
+        evaluator.evaluate_graph(graph)  # fine again
+
+    def test_trim_keeps_canonically_first_gpus(self, zoo, evaluator):
+        """Sleeping gates the canonically-last GPUs — the finest
+        partitions — so a mixed config keeps its coarse anchors."""
+        from repro.core.config import ClusterConfig, GpuAssignment
+
+        fam = zoo.family("efficientnet")
+        coarse = GpuAssignment(partition_id=1, variant_ordinals=(4,))
+        fine = GpuAssignment(
+            partition_id=19, variant_ordinals=(1,) * 7
+        )
+        cfg = ClusterConfig(
+            family=fam.name, assignments=(fine, coarse, fine, coarse)
+        )
+        evaluator.set_awake_gpus(2)
+        ev = evaluator.evaluate(cfg, rate_per_s=0.1 * evaluator.rate_per_s)
+        assert ev.num_instances == 2  # the two coarse 7g GPUs stayed awake

@@ -1,0 +1,179 @@
+"""CapacityManager: the per-region awake/asleep state machine."""
+
+import pytest
+
+from repro.fleet.capacity import (
+    CapacityManager,
+    GatingPolicy,
+    make_gating_policy,
+)
+
+#: 4 GPUs, capacity 4.0 req/s -> 1.0 req/s per GPU; target 0.75 means one
+#: GPU absorbs 0.75 req/s before the next one wakes.
+N, CAP = 4, 4.0
+
+
+def manager(**policy_kwargs) -> CapacityManager:
+    return CapacityManager(
+        n_gpus=N, capacity_rate_per_s=CAP, policy=GatingPolicy(**policy_kwargs)
+    )
+
+
+class TestGatingPolicy:
+    def test_defaults_valid(self):
+        GatingPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(target_utilization=0.0),
+            dict(target_utilization=1.2),
+            dict(sleep_margin=1.0),
+            dict(sleep_after_epochs=0),
+            dict(wake_latency_s=-1.0),
+            dict(wake_energy_j=-1.0),
+            dict(min_awake=0),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GatingPolicy(**kwargs)
+
+    def test_mode_presets(self):
+        reactive = make_gating_policy("reactive")
+        forecast = make_gating_policy("forecast")
+        assert not reactive.prewake
+        assert forecast.prewake
+        # The forecast preset trusts its pre-wakes with deeper sleeps.
+        assert forecast.sleep_margin < reactive.sleep_margin
+        assert forecast.sleep_after_epochs <= reactive.sleep_after_epochs
+
+    def test_preset_overrides_win(self):
+        p = make_gating_policy("forecast", sleep_margin=2.0)
+        assert p.sleep_margin == 2.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown gating mode"):
+            make_gating_policy("psychic")
+
+
+class TestSizing:
+    def test_gpus_for_ceil(self):
+        m = manager()
+        assert m.gpus_for(0.1, 0.75) == 1
+        assert m.gpus_for(0.75, 0.75) == 1
+        assert m.gpus_for(0.76, 0.75) == 2
+        assert m.gpus_for(100.0, 0.75) == N  # clamped to the pool
+
+    def test_zero_rate_sizes_to_min_awake(self):
+        m = manager(min_awake=2)
+        assert m.gpus_for(0.0, 0.75) == 2
+
+    def test_min_awake_above_pool_rejected(self):
+        with pytest.raises(ValueError, match="min awake"):
+            CapacityManager(
+                n_gpus=2, capacity_rate_per_s=2.0,
+                policy=GatingPolicy(min_awake=3),
+            )
+
+    def test_boots_fully_awake(self):
+        assert manager().awake == N
+
+
+class TestReactiveWake:
+    def test_shortfall_wakes_now_with_delay(self):
+        m = manager()
+        m.awake = 1
+        m.begin_epoch()
+        decision = m.settle(2.0)  # needs ceil(2.0 / 0.75) = 3 GPUs
+        assert decision.awake == 3
+        assert decision.serving_at_start == 1
+        assert decision.woken == 2
+        assert decision.wake_delay_s == m.policy.wake_latency_s
+
+    def test_no_shortfall_no_delay(self):
+        m = manager()
+        m.begin_epoch()
+        decision = m.settle(1.0)
+        assert decision.awake == N
+        assert decision.woken == 0
+        assert decision.wake_delay_s == 0.0
+
+
+class TestHysteresis:
+    def test_sleep_needs_consecutive_low_epochs(self):
+        m = manager(sleep_after_epochs=2)
+        m.begin_epoch()
+        d1 = m.settle(0.5)  # low (needs 1 GPU even with margin)
+        assert d1.slept == 0 and d1.awake == N
+        m.begin_epoch()
+        d2 = m.settle(0.5)  # second low epoch: sleep scheduled
+        assert d2.slept == N - 1
+        assert d2.awake == N  # still serving this epoch
+        assert m.begin_epoch() == 1  # lands at the next epoch boundary
+
+    def test_streak_resets_on_busy_epoch(self):
+        m = manager(sleep_after_epochs=2)
+        m.begin_epoch()
+        m.settle(0.5)
+        m.begin_epoch()
+        m.settle(3.0 * 0.75)  # margined rate needs the whole pool again
+        m.begin_epoch()
+        d = m.settle(0.5)  # streak restarted: first low epoch again
+        assert d.slept == 0
+
+    def test_margin_is_a_deadband(self):
+        """A rate needing k GPUs at target utilization but k+1 at the
+        margined rate must NOT sleep down to k — that is the deadband
+        that stops capacity flapping across the wake-latency boundary."""
+        m = manager(sleep_margin=1.25, sleep_after_epochs=1)
+        m.awake = 3
+        rate = 1.6  # needs 3 @ target 0.75; margined 2.0 also needs 3
+        m.begin_epoch()
+        d = m.settle(rate)
+        assert d.slept == 0
+
+    def test_never_sleeps_below_min_awake(self):
+        m = manager(min_awake=2, sleep_after_epochs=1)
+        m.begin_epoch()
+        d = m.settle(0.0)
+        assert d.slept == N - 2
+        assert m.begin_epoch() == 2
+
+
+class TestPrewake:
+    def test_hint_files_pending_wakes_that_land_next_epoch(self):
+        m = manager(prewake=True)
+        m.awake = 1
+        m.begin_epoch()
+        d = m.settle(0.5, hint_rate_per_s=2.0)  # forecast needs 3 GPUs
+        assert d.awake == 1  # nothing woke reactively
+        assert d.wake_delay_s == 0.0
+        assert d.pending_wakes == 2
+        assert m.begin_epoch() == 3  # pre-wakes online before routing
+        # The matured pre-wakes are charged (woken) in the landing epoch.
+        d2 = m.settle(2.0)
+        assert d2.woken == 2
+        assert d2.wake_delay_s == 0.0  # no reactive wake, no window
+
+    def test_hint_ignored_without_prewake_policy(self):
+        m = manager(prewake=False)
+        m.awake = 1
+        m.begin_epoch()
+        d = m.settle(0.5, hint_rate_per_s=3.0)
+        assert d.pending_wakes == 0
+
+    def test_hint_holds_capacity_awake(self):
+        """A high forecast stops the hysteresis from sleeping capacity the
+        pre-wake would only have to bring back."""
+        m = manager(prewake=True, sleep_after_epochs=1)
+        m.begin_epoch()
+        d = m.settle(0.5, hint_rate_per_s=2.5)
+        assert d.slept == 0
+
+    def test_wake_counters_accumulate(self):
+        m = manager()
+        m.awake = 1
+        m.begin_epoch()
+        m.settle(2.0)
+        assert m.total_wakes == 2

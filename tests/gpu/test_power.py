@@ -28,10 +28,22 @@ class TestPowerModel:
             0.5 * pm.slice_dynamic_watts(s, 1.0)
         )
 
-    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    @pytest.mark.parametrize("bad", [-0.5, 1.5])
     def test_intensity_out_of_range_raises(self, bad):
         with pytest.raises(ValueError):
             PowerModel().slice_dynamic_watts(slice_by_name("1g"), bad)
+
+    def test_zero_intensity_is_legal_and_free(self):
+        """Regression: a fully memory-bound model (intensity 0) used to
+        raise instead of contributing 0 W of dynamic power."""
+        assert PowerModel().slice_dynamic_watts(slice_by_name("3g"), 0.0) == 0.0
+
+    def test_zero_utilization_slice_contributes_nothing(self):
+        """Regression: a hosted-but-idle slice used to have its dynamic
+        term evaluated anyway, so utilization 0 with intensity 0 raised."""
+        pm = PowerModel()
+        p = pm.gpu_power([(slice_by_name("7g"), 0.0, 0.0)])
+        assert p == pytest.approx(pm.static_watts_per_gpu())
 
     def test_gpu_power_sums_busy_slices(self):
         pm = PowerModel()
@@ -60,3 +72,28 @@ class TestPowerModel:
             PowerModel(peak_dynamic_watts=0.0)
         with pytest.raises(ValueError):
             PowerModel(host_watts_per_gpu=-5.0)
+
+    def test_zero_idle_watts_is_legal(self):
+        """Regression: the old "power parameters must be positive" check
+        was wrong for ``idle_watts`` — an ideally-gated board may idle at
+        exactly zero."""
+        pm = PowerModel(idle_watts=0.0, sleep_watts=0.0)
+        assert pm.static_watts_per_gpu() == pytest.approx(pm.host_watts_per_gpu)
+
+    def test_idle_error_message_names_the_field(self):
+        with pytest.raises(ValueError, match="idle power must be non-negative"):
+            PowerModel(idle_watts=-1.0)
+
+
+class TestSleepState:
+    def test_sleep_draw_below_static(self):
+        pm = PowerModel()
+        assert 0.0 <= pm.sleep_watts_per_gpu() < pm.static_watts_per_gpu()
+
+    def test_sleep_above_static_rejected(self):
+        with pytest.raises(ValueError, match="sleep"):
+            PowerModel(idle_watts=10.0, host_watts_per_gpu=5.0, sleep_watts=20.0)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError, match="sleep"):
+            PowerModel(sleep_watts=-1.0)

@@ -100,6 +100,55 @@ class TestNonstationaryPoisson:
         with pytest.raises(ValueError, match="envelope"):
             wl.arrivals(10.0, rng)
 
+    @staticmethod
+    def narrow_burst(critical=()):
+        """1 req/s background with a 10-ms, 100 req/s spike at t=500 s.
+
+        The spike dwarfs the 20 req/s envelope but is ~6000x narrower than
+        the 60 s check grid and, at ~20 candidates/s, lands a thinning
+        candidate only once every ~5 windows — the silent under-sampling
+        regression.
+        """
+        return NonstationaryPoissonWorkload(
+            rate_fn=lambda t: 100.0 if 500.0 <= t < 500.01 else 1.0,
+            max_rate_per_s=20.0,
+            critical_times_s=critical,
+        )
+
+    def test_narrow_burst_above_envelope_detected(self):
+        """Regression: with the burst declared critical, the envelope
+        violation raises deterministically — on every seed, before any
+        candidate is drawn — instead of only when a random candidate
+        happens to land inside the 10 ms burst."""
+        wl = self.narrow_burst(critical=(500.0, 500.005, 500.01))
+        for seed in range(5):
+            with pytest.raises(ValueError, match="envelope"):
+                wl.arrivals(1000.0, seed)
+
+    def test_narrow_burst_was_silently_under_sampled(self):
+        """The pre-fix behavior, pinned: without critical times, seeds
+        whose candidates miss the 10 ms burst sample without raising."""
+        wl = self.narrow_burst(critical=())
+        escaped = 0
+        for seed in range(5):
+            try:
+                wl.arrivals(1000.0, seed)
+                escaped += 1
+            except ValueError:
+                pass
+        assert escaped > 0
+
+    def test_expected_requests_sees_narrow_burst(self):
+        """A burst between quadrature nodes used to vanish from the
+        integral; its critical edges now pin it."""
+        burst_area = 99.0 * 0.01  # (100 - 1) req/s for 10 ms
+        base = NonstationaryPoissonWorkload(
+            rate_fn=lambda t: 1.0, max_rate_per_s=20.0
+        )
+        wl = self.narrow_burst(critical=(500.0, 500.005, 500.01))
+        extra = wl.expected_requests(1000.0) - base.expected_requests(1000.0)
+        assert extra == pytest.approx(burst_area, rel=0.05)
+
     def test_negative_rate_raises(self, rng):
         wl = NonstationaryPoissonWorkload(
             rate_fn=lambda t: -1.0, max_rate_per_s=20.0
