@@ -44,6 +44,15 @@ GPU capacity (idle power follows traffic)::
           f"{100 * report.user_sla_attainment:.1f}%, "
           f"GPUs awake: {100 * report.mean_awake_fraction:.0f}%")
 
+Heterogeneous GPU generations (routing ranks on gCO2/request)::
+
+    from repro import FleetCoordinator, region_by_name
+
+    regions = [region_by_name("us-ciso", n_gpus=2, devices="a100"),
+               region_by_name("apac-solar", n_gpus=2, devices="l4")]
+    fleet = FleetCoordinator.create(regions, router="carbon-greedy")
+    report = fleet.run(duration_h=48.0)
+
 Packages: :mod:`repro.gpu` (MIG substrate), :mod:`repro.models` (Table-1
 model zoo), :mod:`repro.serving` (queueing + DES), :mod:`repro.carbon`
 (traces + accounting + forecasting), :mod:`repro.core` (the Clover
@@ -68,6 +77,7 @@ from repro.fleet import (
     default_fleet_regions,
     region_by_name,
 )
+from repro.gpu.profiles import DevicePool, DeviceProfile, profile_by_name
 from repro.models.zoo import default_zoo
 from repro.models.perf import PerfModel
 from repro.carbon.traces import evaluation_traces, trace_by_name
@@ -88,6 +98,9 @@ __all__ = [
     "DiurnalDemandModel",
     "LatencyMatrix",
     "default_origins",
+    "DeviceProfile",
+    "DevicePool",
+    "profile_by_name",
     "default_zoo",
     "PerfModel",
     "evaluation_traces",

@@ -24,6 +24,7 @@ savings     the back-of-the-envelope daily savings estimate (Sec. 5.2.1)
 fleet       multi-region load shifting (beyond the paper: Sec. 6 futures)
 demand      geo-diurnal demand + forecast-driven proactive routing
 gating      elastic GPU capacity: always-on vs reactive vs forecast-pre-wake
+hetero      heterogeneous GPU fleets: efficiency-aware vs intensity routing
 ==========  ===========================================================
 
 ``fig16``, ``fleet`` and ``demand`` run through the :mod:`repro.fleet`
@@ -87,6 +88,7 @@ __all__ = [
     "fleet_load_shifting",
     "demand_routing",
     "gating_elasticity",
+    "hetero_fleet",
     "savings_estimate",
     "EXPERIMENT_REGISTRY",
 ]
@@ -1409,6 +1411,170 @@ def gating_elasticity(
 
 
 # --------------------------------------------------------------------- #
+# Hetero — heterogeneous GPU fleets (beyond the paper)
+# --------------------------------------------------------------------- #
+
+#: The hetero experiment's default fleet: the demand/gating regions, with
+#: the dirty phase-shifted APAC grid provisioned with low-power L4
+#: inference cards while the A100 regions keep MIG.  (EcoServe-style mixed
+#: provisioning: cheap efficient silicon where the grid is worst.)
+HETERO_DEVICES: tuple[str, ...] = ("a100", "a100", "l4")
+
+#: Per-wake transition energy for gated hetero fleets: the A100 default
+#: (2 kJ) exceeds an L4's static draw over the wake window, which would
+#: break the gated-never-out-spends-always-on invariant the coordinator
+#: enforces; 1 kJ fits every registered device.
+HETERO_WAKE_ENERGY_J = 1000.0
+
+#: Comparison rows: label -> (router, efficiency_weighted, needs lookahead).
+HETERO_ROWS: tuple[tuple[str, str, bool, bool], ...] = (
+    ("static", "static", True, False),
+    ("greedy/intensity", "carbon-greedy", False, False),
+    ("greedy/efficiency", "carbon-greedy", True, False),
+    ("forecast/efficiency", "forecast-aware", True, True),
+)
+
+
+@dataclass(frozen=True)
+class HeteroResult:
+    """Efficiency-aware vs intensity-only routing on mixed silicon.
+
+    The headline property is :attr:`efficiency_saving_pct`: how much fleet
+    carbon efficiency-aware carbon-greedy saves over the intensity-only
+    ranking on the *same* fleet — the value of pricing silicon, not just
+    grids, into the routing decision.
+    """
+
+    application: str
+    region_names: tuple[str, ...]
+    region_devices: tuple[str, ...]
+    labels: tuple[str, ...]
+    total_carbon_g: dict[str, float]
+    total_energy_j: dict[str, float]
+    user_sla_attainment: dict[str, float]
+    accuracy_loss_pct: dict[str, float]
+    mean_awake_fraction: dict[str, float]
+    request_shares: dict[str, dict[str, float]]
+
+    @property
+    def efficiency_saving_pct(self) -> float:
+        """Carbon saved by pricing silicon into the greedy ranking."""
+        intensity = self.total_carbon_g["greedy/intensity"]
+        efficiency = self.total_carbon_g["greedy/efficiency"]
+        return (1.0 - efficiency / intensity) * 100.0
+
+    def table(self):
+        headers = (
+            "Router", "Carbon(g)", "Energy(kWh)", "AwakeGPU%",
+            "UserSLA%", "AccLoss%", "Busiest region",
+        )
+        rows = []
+        for label in self.labels:
+            shares = self.request_shares[label]
+            busiest = max(shares, key=shares.get)
+            rows.append(
+                (
+                    label,
+                    f"{self.total_carbon_g[label]:,.0f}",
+                    f"{self.total_energy_j[label] / 3.6e6:.2f}",
+                    f"{100 * self.mean_awake_fraction[label]:.1f}",
+                    f"{100 * self.user_sla_attainment[label]:.2f}",
+                    f"{self.accuracy_loss_pct[label]:.2f}",
+                    f"{busiest} ({100 * shares[busiest]:.1f}%)",
+                )
+            )
+        rows.append(
+            (
+                "efficiency gain",
+                f"{self.efficiency_saving_pct:.2f}% vs intensity-only",
+                "-", "-", "-", "-", "-",
+            )
+        )
+        return headers, rows
+
+
+def hetero_fleet(
+    runner: ExperimentRunner | None = None,
+    fidelity: str = "default",
+    seed: int = 0,
+    application: str = "classification",
+    region_names: tuple[str, ...] = ("us-ciso", "uk-eso", "apac-solar"),
+    devices: tuple[str, ...] = HETERO_DEVICES,
+    scheme: str = "clover",
+    n_gpus: int = 2,
+    duration_h: float = 48.0,
+    lookahead_h: float = DEMAND_LOOKAHEAD_H,
+) -> HeteroResult:
+    """Heterogeneous silicon: route by gCO2/request, not gCO2/kWh.
+
+    The setup composes the ``demand`` and ``gating`` experiments (diurnal
+    geo-origin demand, ramp/drain inertia, per-pair SLA charging, reactive
+    power-gating) on a fleet whose regions run *different GPU
+    generations*: the APAC region — the dirtiest grid — is provisioned
+    with low-power L4 inference cards, the others with MIG-capable A100s.
+
+    Carbon per request is grid intensity *times* joules per request, and
+    the joules now differ per region: an L4 request is dynamically cheap
+    but its unpartitionable GPU amortizes static draw poorly, while a
+    MIG-partitioned A100 serving small variants is leaner than its BASE
+    spec sheet suggests.  The intensity-only ranking (the pre-PR-4
+    carbon-greedy, ``greedy/intensity``) sees none of this; the
+    efficiency-aware ranking multiplies each region's intensity by its
+    deployed configuration's marginal joules/request (static amortization
+    included once gating makes idle power follow traffic).
+
+    Expected shape: ``greedy/efficiency`` achieves strictly lower fleet
+    carbon than ``greedy/intensity`` at equal-or-better user SLA — the
+    benchmark's acceptance bar — and the forecast-aware row composes the
+    efficiency ranking with lookahead pre-positioning.
+    """
+    runner = runner or ExperimentRunner()
+    if len(devices) != len(region_names):
+        raise ValueError(
+            f"{len(devices)} device specs for {len(region_names)} regions"
+        )
+    results = {}
+    for label, router, efficiency, needs_lookahead in HETERO_ROWS:
+        results[label] = runner.run_fleet(
+            FleetSpec(
+                region_names=region_names,
+                application=application,
+                scheme=scheme,
+                router=router,
+                fidelity=fidelity,
+                seed=seed,
+                n_gpus=n_gpus,
+                duration_h=duration_h,
+                demand="diurnal",
+                ramp_share_per_h=DEMAND_RAMP_SHARE_PER_H,
+                drain_share_per_h=DEMAND_DRAIN_SHARE_PER_H,
+                lookahead_h=(lookahead_h if needs_lookahead else None),
+                gating="reactive",
+                wake_energy_j=HETERO_WAKE_ENERGY_J,
+                devices=devices,
+                efficiency_weighted=efficiency,
+            )
+        )
+    labels = tuple(label for label, *_ in HETERO_ROWS)
+    return HeteroResult(
+        application=application,
+        region_names=region_names,
+        region_devices=devices,
+        labels=labels,
+        total_carbon_g={k: r.total_carbon_g for k, r in results.items()},
+        total_energy_j={k: r.total_energy_j for k, r in results.items()},
+        user_sla_attainment={
+            k: r.user_sla_attainment for k, r in results.items()
+        },
+        accuracy_loss_pct={k: r.accuracy_loss_pct for k, r in results.items()},
+        mean_awake_fraction={
+            k: r.mean_awake_fraction for k, r in results.items()
+        },
+        request_shares={k: r.request_shares for k, r in results.items()},
+    )
+
+
+# --------------------------------------------------------------------- #
 # Sec. 5.2.1 — physical-significance estimate
 # --------------------------------------------------------------------- #
 
@@ -1492,5 +1658,6 @@ EXPERIMENT_REGISTRY = {
     "fleet": fleet_load_shifting,
     "demand": demand_routing,
     "gating": gating_elasticity,
+    "hetero": hetero_fleet,
     "savings": savings_estimate,
 }

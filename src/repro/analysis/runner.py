@@ -59,7 +59,18 @@ class FleetSpec:
     shares bound per-hour traffic migration, and ``lookahead_h`` /
     ``forecaster`` configure forecast-aware routing.  ``gating`` turns on
     elastic GPU capacity (``"reactive"`` / ``"forecast"``; ``None`` keeps
-    every GPU always on).
+    every GPU always on), and ``wake_energy_j`` overrides the gating
+    policy's per-wake transition energy (fleets with low-power devices
+    need a tighter bound than the A100 default).
+
+    The heterogeneity fields: ``devices`` assigns GPU generations — one
+    device spec for every region (``"l4"``) or a per-region tuple aligned
+    with ``region_names`` (each entry a :func:`repro.gpu.parse_devices`
+    spec, e.g. ``"a100:1,l4:1"`` for a mixed pool); ``None`` keeps the
+    implicit all-A100 fleet.  ``efficiency_weighted=False`` downgrades
+    the carbon-greedy / forecast-aware routers to their intensity-only
+    rankings (the pre-heterogeneity behaviour, used as the ablation
+    baseline by the ``hetero`` experiment).
     """
 
     region_names: tuple[str, ...]
@@ -79,6 +90,9 @@ class FleetSpec:
     lookahead_h: float | None = None
     forecaster: str = "diurnal"
     gating: str | None = None
+    wake_energy_j: float | None = None
+    devices: tuple[str, ...] | str | None = None
+    efficiency_weighted: bool = True
 
 
 @dataclass
@@ -131,21 +145,50 @@ class ExperimentRunner:
             return hit
         from dataclasses import replace
 
-        from repro.fleet import FleetCoordinator, region_by_name
+        from repro.fleet import FleetCoordinator, make_gating_policy, region_by_name
+        from repro.fleet.routing import make_router
+        from repro.gpu.profiles import parse_region_devices
+
+        device_specs: tuple[str | None, ...]
+        if spec.devices is None or isinstance(spec.devices, str):
+            device_specs = (spec.devices,) * len(spec.region_names)
+        else:
+            if len(spec.devices) != len(spec.region_names):
+                raise ValueError(
+                    f"{len(spec.devices)} device specs for "
+                    f"{len(spec.region_names)} regions"
+                )
+            device_specs = spec.devices
 
         regions = tuple(
-            region_by_name(name, n_gpus=spec.n_gpus)
-            for name in spec.region_names
+            region_by_name(
+                name,
+                n_gpus=spec.n_gpus,
+                devices=None if dev is None else parse_region_devices(dev),
+            )
+            for name, dev in zip(spec.region_names, device_specs)
         )
         if spec.net_latency_ms is not None:
             regions = tuple(
                 replace(r, net_latency_ms=spec.net_latency_ms) for r in regions
             )
+        gating = spec.gating
+        if gating is not None and spec.wake_energy_j is not None:
+            gating = make_gating_policy(gating, wake_energy_j=spec.wake_energy_j)
+        router = spec.router
+        if not spec.efficiency_weighted:
+            # The intensity-only ablation only exists for the rankings
+            # that are efficiency-weighted in the first place.
+            if spec.router not in ("carbon-greedy", "forecast-aware"):
+                raise ValueError(
+                    f"router {spec.router!r} has no intensity-only variant"
+                )
+            router = make_router(spec.router, efficiency_weighted=False)
         fleet = FleetCoordinator.create(
             regions,
             application=spec.application,
             scheme=spec.scheme,
-            router=spec.router,
+            router=router,
             lambda_weight=spec.lambda_weight,
             fidelity=FidelityProfile.by_name(spec.fidelity),
             seed=spec.seed,
@@ -155,7 +198,7 @@ class ExperimentRunner:
             drain_share_per_h=spec.drain_share_per_h,
             lookahead_h=spec.lookahead_h,
             forecaster=spec.forecaster,
-            gating=spec.gating,
+            gating=gating,
         )
         result = fleet.run(duration_h=spec.duration_h)
         self._fleet_cache[spec] = result

@@ -20,7 +20,12 @@ Subcommands
     charging; ``--lookahead-h`` tunes the forecast-aware router;
     ``--gating reactive|forecast`` turns on elastic GPU capacity so idle
     power follows traffic (``repro run gating`` prints the side-by-side
-    always-on vs reactive vs pre-wake comparison).
+    always-on vs reactive vs pre-wake comparison); ``--devices`` assigns
+    GPU generations per region (``us-ciso=a100,apac-solar=l4`` — mixed
+    pools via ``a100:1+l4:1``), making the carbon-greedy/forecast-aware
+    routers rank on effective gCO2/request, and ``--intensity-only``
+    ablates that back to the raw-intensity ranking (``repro run hetero``
+    prints the side-by-side comparison).
 """
 
 from __future__ import annotations
@@ -120,6 +125,30 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--application", default="classification")
     fleet.add_argument("--scheme", default="clover")
     fleet.add_argument("--n-gpus", type=int, default=4, dest="n_gpus")
+    from repro.gpu.profiles import DEVICE_NAMES
+
+    fleet.add_argument(
+        "--devices",
+        default=None,
+        help=(
+            "GPU generations per region: one spec for every region "
+            "('l4'), or comma-separated region=spec pairs "
+            "('us-ciso=a100,uk-eso=l4'); a spec mixes devices within a "
+            "region with '+' ('a100:1+l4:1', counts must total --n-gpus). "
+            f"Known devices: {', '.join(DEVICE_NAMES)}.  Default: every "
+            "GPU an a100"
+        ),
+    )
+    fleet.add_argument(
+        "--intensity-only",
+        action="store_true",
+        dest="intensity_only",
+        help=(
+            "rank regions on raw grid intensity instead of effective "
+            "gCO2/request (the pre-heterogeneity carbon-greedy/"
+            "forecast-aware behaviour; identical on all-a100 fleets)"
+        ),
+    )
     fleet.add_argument(
         "--fidelity", default="smoke", choices=("smoke", "default", "paper")
     )
@@ -162,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
             "elastic GPU capacity: sleep GPUs when the routed rate falls "
             "(reactive wakes pay a latency window; forecast pre-wakes from "
             "the router's lookahead).  Default: every GPU always on"
+        ),
+    )
+    fleet.add_argument(
+        "--wake-energy-j",
+        type=float,
+        default=None,
+        dest="wake_energy_j",
+        help=(
+            "per-wake transition energy for --gating (J).  The default "
+            "(2000 J) is sized for A100s; fleets with leaner devices need "
+            "a tighter bound — e.g. 1000 J fits an L4, whose static draw "
+            "over the wake window caps the admissible wake energy"
         ),
     )
     return parser
@@ -231,32 +272,95 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fleet_devices(arg: str | None, region_names: list[str]):
+    """``--devices`` → per-region device assignment for region_by_name.
+
+    Returns a dict region -> (str | tuple) device spec; regions absent
+    from the mapping keep the implicit all-A100 fleet.  A bare spec (no
+    ``=``) applies to every region; within-region mixes join device
+    counts with ``+`` (``a100:1+l4:1``).  ``region_names`` must already
+    be lowercased (the registry is case-insensitive).
+    """
+    from repro.gpu.profiles import parse_region_devices
+
+    if arg is None:
+        return {}
+
+    def one(spec: str):
+        return parse_region_devices(spec.replace("+", ","))
+
+    if "=" not in arg:
+        spec = one(arg)
+        return {region: spec for region in region_names}
+    out = {}
+    for token in arg.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        region, sep, spec = token.partition("=")
+        if not sep:
+            raise ValueError(
+                f"mixing bare and region=spec device tokens ({token!r}); "
+                "either give one spec for all regions or map every region"
+            )
+        region = region.strip().lower()
+        if region not in region_names:
+            raise ValueError(
+                f"--devices names unknown region {region!r} "
+                f"(fleet: {', '.join(region_names)})"
+            )
+        out[region] = one(spec.strip())
+    return out
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
     from repro.fleet import FleetCoordinator, region_by_name
+    from repro.fleet.routing import make_router
 
-    names = [n.strip() for n in args.regions.split(",") if n.strip()]
+    # The registry is case-insensitive; normalize once so --devices
+    # region=spec tokens match however --regions was spelled.
+    names = [n.strip().lower() for n in args.regions.split(",") if n.strip()]
     if not names:
         print("no regions given", file=sys.stderr)
         return 2
     try:
-        regions = tuple(region_by_name(n, n_gpus=args.n_gpus) for n in names)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+        devices = _parse_fleet_devices(args.devices, names)
+        regions = tuple(
+            region_by_name(n, n_gpus=args.n_gpus, devices=devices.get(n))
+            for n in names
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
+    router = args.router
+    if args.intensity_only:
+        if router not in ("carbon-greedy", "forecast-aware"):
+            print(
+                f"--intensity-only applies to carbon-greedy/forecast-aware "
+                f"routers, not {router!r}",
+                file=sys.stderr,
+            )
+            return 2
+        router = make_router(router, efficiency_weighted=False)
+    gating = args.gating
+    if gating is not None and args.wake_energy_j is not None:
+        from repro.fleet import make_gating_policy
+
+        gating = make_gating_policy(gating, wake_energy_j=args.wake_energy_j)
     try:
         fleet = FleetCoordinator.create(
             regions,
             application=args.application,
             scheme=args.scheme,
-            router=args.router,
+            router=router,
             fidelity=args.fidelity,
             seed=args.seed,
             demand=args.demand,
             ramp_share_per_h=args.ramp_share_per_h,
             drain_share_per_h=args.drain_share_per_h,
             lookahead_h=args.lookahead_h,
-            gating=args.gating,
+            gating=gating,
         )
         t0 = time.perf_counter()
         report = fleet.run(duration_h=args.duration_h)
@@ -276,6 +380,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     )
     print()
+    if any(r.devices is not None for r in report.regions):
+        mixes = ", ".join(
+            f"{r.name}={r.device_pool().describe()}" for r in report.regions
+        )
+        print(f"  devices:         {mixes}")
     print(f"  duration:        {report.duration_h:.1f} h")
     print(f"  global rate:     {report.global_rate_per_s:.1f} req/s")
     print(f"  requests served: {report.total_requests:,.0f}")

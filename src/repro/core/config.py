@@ -178,18 +178,24 @@ def base_config(family: ModelFamily, n_gpus: int) -> ClusterConfig:
     )
 
 
-def co2opt_config(family: ModelFamily, n_gpus: int) -> ClusterConfig:
+def co2opt_config(
+    family: ModelFamily, n_gpus: int, max_partition_id: int | None = None
+) -> ClusterConfig:
     """The CO2OPT deployment: finest feasible partition, smallest variant.
 
     Uses config 19 (seven 1g slices) when the smallest variant fits a 1g
     slice; otherwise falls back to the finest partition whose smallest slice
     can host it (relevant for user-registered families with big "small"
-    models).
+    models).  ``max_partition_id`` caps the choice at the device pool's
+    partition granularity — a non-MIG pool degenerates CO2OPT to the
+    smallest variant on unpartitioned GPUs.
     """
     smallest = family.smallest
     candidates = sorted(
         MIG_PARTITIONS, key=lambda p: (-p.num_instances, p.config_id)
     )
+    if max_partition_id is not None:
+        candidates = [p for p in candidates if p.config_id <= max_partition_id]
     for partition in candidates:
         if all(smallest.fits(s) for s in partition.slices):
             return uniform_config(

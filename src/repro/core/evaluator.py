@@ -33,6 +33,21 @@ GPUs only.  Sleeping GPUs' reduced draw and wake transitions are charged by
 the fleet coordinator, not here.  With ``awake_gpus`` unset (or equal to
 ``n_gpus``) the code path, cache keys and results are bit-for-bit identical
 to the always-on evaluator.
+
+Device heterogeneity enters through :attr:`ConfigEvaluator.device_pool`: a
+:class:`~repro.gpu.profiles.DevicePool` prices every evaluation on that
+pool's silicon.  Placement then matters — a slice on an H100 is faster and
+draws different power than the same slice on an L4 — which would break the
+paper's placement-free compaction argument, so the pool path pins placement
+deterministically: the graph is materialized through
+:func:`~repro.core.feasibility.realize_graph` and its ``i``-th canonical
+assignment runs on the pool's ``i``-th device (pools are canonically
+ordered most-efficient-first, so coarse partitions land on efficient
+silicon).  Evaluations are therefore still a pure function of
+``(graph, rate, awake, pool)`` and stay cacheable; the cache key includes
+the pool's device names so identical graphs on different silicon can never
+share an entry.  An all-A100 pool is normalized away at construction — its
+code path, cache keys and results are bit-for-bit the seed evaluator.
 """
 
 from __future__ import annotations
@@ -42,7 +57,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import ClusterConfig
+from repro.core.feasibility import realize_graph
 from repro.core.graph import ConfigGraph
+from repro.gpu.profiles import DevicePool
 from repro.models.perf import PerfModel
 from repro.models.zoo import ModelZoo
 from repro.serving.analytic import estimate_fifo
@@ -124,6 +141,10 @@ class ConfigEvaluator:
     awake_gpus:
         When set below ``n_gpus``, evaluations are capped to the awake
         GPU subset (see the module docstring); ``None`` means fully awake.
+    device_pool:
+        The cluster's device generations (see the module docstring).
+        ``None`` — or an all-A100 pool, which is normalized to ``None`` —
+        is the seed single-device path, bit for bit.
     """
 
     zoo: ModelZoo
@@ -136,12 +157,14 @@ class ConfigEvaluator:
     jitter_cv: float = DEFAULT_JITTER_CV
     seed: int = 0
     awake_gpus: int | None = None
-    _cache: dict[tuple[bytes, float], Evaluation] = field(
-        default_factory=dict, repr=False
-    )
+    device_pool: DevicePool | None = None
+    _cache: dict[tuple, Evaluation] = field(default_factory=dict, repr=False)
     _hits: int = field(default=0, init=False, repr=False)
     _misses: int = field(default=0, init=False, repr=False)
     _num_variants: int = field(init=False, repr=False)
+    _device_perfs: tuple[PerfModel, ...] | None = field(
+        default=None, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.method not in ("analytic", "des"):
@@ -158,6 +181,20 @@ class ConfigEvaluator:
             )
         if self.awake_gpus is not None:
             self.set_awake_gpus(self.awake_gpus)  # validates the range
+        if self.device_pool is not None:
+            if self.device_pool.n_gpus != self.n_gpus:
+                raise ValueError(
+                    f"device pool has {self.device_pool.n_gpus} GPUs, "
+                    f"evaluator sized for {self.n_gpus}"
+                )
+            if self.device_pool.is_default_a100:
+                # The implicit seed fleet: drop to the single-device path
+                # so cache keys and arithmetic stay bit-for-bit identical.
+                self.device_pool = None
+            else:
+                self._device_perfs = tuple(
+                    p.perf(self.perf) for p in self.device_pool.profiles
+                )
         self._num_variants = self.zoo.family(self.family).num_variants
 
     # ------------------------------------------------------------------ #
@@ -202,6 +239,17 @@ class ConfigEvaluator:
                 "evaluate the concrete ClusterConfig instead"
             )
         return self._cached_evaluate(graph, self._resolve_rate(rate_per_s), None)
+
+    @property
+    def pool_key(self) -> tuple[str, ...] | None:
+        """The device-pool component of this evaluator's cache keys.
+
+        ``None`` on the single-device (implicit A100) path — those keys
+        must stay byte-identical to the seed evaluator's.  Pool-aware
+        keys append the canonical device-name tuple, so the same graph at
+        the same rate on different silicon can never share a cache entry.
+        """
+        return None if self.device_pool is None else self.device_pool.names
 
     def set_awake_gpus(self, awake_gpus: int | None) -> None:
         """Cap subsequent evaluations to ``awake_gpus`` GPUs.
@@ -270,8 +318,12 @@ class ConfigEvaluator:
         # Fully-awake evaluations keep the seed's 2-tuple key; gated ones
         # append the awake count, because a trimmed graph can collide with
         # a full configuration of the same multiset while owing a
-        # different static draw.
+        # different static draw.  Pool-aware evaluations additionally
+        # append the device names: identical graphs at identical rates on
+        # different silicon are different measurements.
         key = (graph.key(), rate) if awake is None else (graph.key(), rate, awake)
+        if self.device_pool is not None:
+            key = key + (self.device_pool.names,)
         hit = self._cache.get(key)
         if hit is not None:
             self._hits += 1
@@ -304,12 +356,53 @@ class ConfigEvaluator:
             np.asarray(acc, dtype=np.float64),
         )
 
+    def _pool_instance_arrays(
+        self, graph: ConfigGraph, n_powered: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-instance arrays priced on the device pool's silicon.
+
+        The graph is materialized deterministically (``realize_graph``)
+        and its ``i``-th canonical assignment is priced on the pool's
+        ``i``-th device — canonical order sorts coarse partitions first
+        and pools sort efficient silicon first, so full-GPU slices land
+        on the best devices and sleeping (which trims the canonical tail)
+        always gates the least-efficient silicon.
+        """
+        fam = self.zoo.family(self.family)
+        config = realize_graph(
+            graph, n_powered,
+            max_partition_id=self.device_pool.partition_granularity,
+        )
+        service, watts, acc = [], [], []
+        for perf, assignment in zip(self._device_perfs, config.assignments):
+            for slice_type, ordinal in assignment.instances():
+                variant = fam.variant(ordinal)
+                service.append(perf.latency_s(variant, slice_type))
+                watts.append(perf.busy_watts(variant, slice_type))
+                acc.append(variant.accuracy)
+        if not service:
+            raise ValueError("configuration hosts no instances")
+        return (
+            np.asarray(service, dtype=np.float64),
+            np.asarray(watts, dtype=np.float64),
+            np.asarray(acc, dtype=np.float64),
+        )
+
     def _evaluate_graph(
         self, graph: ConfigGraph, rate: float, awake: int | None = None
     ) -> Evaluation:
-        service, watts, acc = self._instance_arrays(graph)
         n_powered = self.n_gpus if awake is None else awake
-        static_watts = self.perf.power.static_watts_per_gpu() * n_powered
+        if self.device_pool is None:
+            service, watts, acc = self._instance_arrays(graph)
+            static_watts = self.perf.power.static_watts_per_gpu() * n_powered
+        else:
+            service, watts, acc = self._pool_instance_arrays(graph, n_powered)
+            static_watts = float(
+                sum(
+                    p.power.static_watts_per_gpu()
+                    for p in self.device_pool.profiles[:n_powered]
+                )
+            )
 
         if self.method == "analytic":
             return self._evaluate_analytic(service, watts, acc, static_watts, rate)

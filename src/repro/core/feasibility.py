@@ -18,26 +18,36 @@ import numpy as np
 from repro.core.config import ClusterConfig, GpuAssignment
 from repro.core.graph import ConfigGraph
 from repro.gpu.cluster import decompose_histogram
-from repro.gpu.partitions import partition_by_id
+from repro.gpu.partitions import NUM_PARTITIONS, partition_by_id
 from repro.gpu.slices import SLICE_TYPES
 
 __all__ = ["graph_is_feasible", "realize_graph"]
 
 
 def graph_is_feasible(
-    graph: ConfigGraph, n_gpus: int, memory_mask: np.ndarray | None = None
+    graph: ConfigGraph,
+    n_gpus: int,
+    memory_mask: np.ndarray | None = None,
+    max_partition_id: int = NUM_PARTITIONS,
 ) -> bool:
     """Whether ``graph`` can be deployed on ``n_gpus`` GPUs.
 
     Checks (a) the OOM-edge rule when a memory mask is given and (b) that
-    the slice histogram decomposes into exactly ``n_gpus`` MIG partitions.
+    the slice histogram decomposes into exactly ``n_gpus`` MIG partitions
+    no finer than ``max_partition_id`` (the device pool's partition
+    granularity; the default admits every MIG configuration).
     """
     if memory_mask is not None and not graph.respects_memory(memory_mask):
         return False
-    return decompose_histogram(graph.slice_histogram(), n_gpus) is not None
+    return (
+        decompose_histogram(graph.slice_histogram(), n_gpus, max_partition_id)
+        is not None
+    )
 
 
-def realize_graph(graph: ConfigGraph, n_gpus: int) -> ClusterConfig:
+def realize_graph(
+    graph: ConfigGraph, n_gpus: int, max_partition_id: int = NUM_PARTITIONS
+) -> ClusterConfig:
     """Deterministically materialize a graph as a concrete configuration.
 
     The slice histogram is decomposed into per-GPU partitions; within each
@@ -51,7 +61,9 @@ def realize_graph(graph: ConfigGraph, n_gpus: int) -> ClusterConfig:
     ValueError
         If the histogram cannot be decomposed into ``n_gpus`` partitions.
     """
-    partition_ids = decompose_histogram(graph.slice_histogram(), n_gpus)
+    partition_ids = decompose_histogram(
+        graph.slice_histogram(), n_gpus, max_partition_id
+    )
     if partition_ids is None:
         raise ValueError(
             f"slice histogram {graph.slice_histogram().tolist()} is not "

@@ -38,19 +38,25 @@ __all__ = ["MoveGenerator", "partition_neighbors", "GED_THRESHOLD"]
 GED_THRESHOLD = 4
 
 
-def partition_neighbors(threshold: int = GED_THRESHOLD) -> dict[int, tuple[int, ...]]:
+def partition_neighbors(
+    threshold: int = GED_THRESHOLD,
+    max_partition_id: int = len(MIG_PARTITIONS),
+) -> dict[int, tuple[int, ...]]:
     """Pairs of MIG partitions whose histograms differ by <= ``threshold``.
 
     The histogram L1 difference lower-bounds the GED cost of repartitioning
     one GPU, so only these pairs can yield in-neighbourhood moves.
+    ``max_partition_id`` restricts both sides of every pair to the device
+    pool's partition granularity.
     """
-    hists = [p.histogram() for p in MIG_PARTITIONS]
-    out: dict[int, list[int]] = {p.config_id: [] for p in MIG_PARTITIONS}
-    for a in MIG_PARTITIONS:
-        for b in MIG_PARTITIONS:
+    partitions = [p for p in MIG_PARTITIONS if p.config_id <= max_partition_id]
+    hists = {p.config_id: p.histogram() for p in partitions}
+    out: dict[int, list[int]] = {p.config_id: [] for p in partitions}
+    for a in partitions:
+        for b in partitions:
             if a.config_id == b.config_id:
                 continue
-            d = int(np.abs(hists[a.config_id - 1] - hists[b.config_id - 1]).sum())
+            d = int(np.abs(hists[a.config_id] - hists[b.config_id]).sum())
             if d <= threshold:
                 out[a.config_id].append(b.config_id)
     return {k: tuple(v) for k, v in out.items()}
@@ -58,12 +64,20 @@ def partition_neighbors(threshold: int = GED_THRESHOLD) -> dict[int, tuple[int, 
 
 @dataclass
 class MoveGenerator:
-    """Samples random GED <= 4 neighbours of a cluster configuration."""
+    """Samples random GED <= 4 neighbours of a cluster configuration.
+
+    ``max_partition_id`` bounds every sampled or proposed partition to the
+    device pool's granularity (see
+    :attr:`repro.gpu.profiles.DevicePool.partition_granularity`): a
+    granularity-1 pool (an L4 in the mix) restricts the search to
+    unpartitioned GPUs, where the only moves left are variant swaps.
+    """
 
     zoo: ModelZoo
     family: str
     threshold: int = GED_THRESHOLD
     max_attempts: int = 64
+    max_partition_id: int = len(MIG_PARTITIONS)
     _partition_adj: dict[int, tuple[int, ...]] = field(init=False, repr=False)
     _num_variants: int = field(init=False, repr=False)
 
@@ -72,7 +86,14 @@ class MoveGenerator:
             raise ValueError(
                 f"threshold below 2 admits no moves, got {self.threshold}"
             )
-        self._partition_adj = partition_neighbors(self.threshold)
+        if not 1 <= self.max_partition_id <= len(MIG_PARTITIONS):
+            raise ValueError(
+                f"max partition id must be in [1, {len(MIG_PARTITIONS)}], "
+                f"got {self.max_partition_id}"
+            )
+        self._partition_adj = partition_neighbors(
+            self.threshold, self.max_partition_id
+        )
         self._num_variants = self.zoo.family(self.family).num_variants
 
     # ------------------------------------------------------------------ #
@@ -158,8 +179,8 @@ class MoveGenerator:
         ).canonical()
 
     def _random_assignment(self, gen: np.random.Generator) -> GpuAssignment:
-        """One GPU's uniformly random partition + feasible variants."""
-        pid = int(gen.integers(1, len(MIG_PARTITIONS) + 1))
+        """One GPU's uniformly random *supported* partition + variants."""
+        pid = int(gen.integers(1, self.max_partition_id + 1))
         partition = partition_by_id(pid)
         ordinals = tuple(
             int(gen.choice(self.zoo.feasible_variants(self.family, s.index)))

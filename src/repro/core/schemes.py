@@ -80,7 +80,14 @@ class InvocationOutcome:
 
 @dataclass
 class Scheme(ABC):
-    """A serving policy: initial deployment plus the re-optimization rule."""
+    """A serving policy: initial deployment plus the re-optimization rule.
+
+    ``max_partition_id`` is the device pool's partition granularity: every
+    configuration a scheme deploys or explores keeps its partitions at or
+    below it (a pool containing a non-MIG device pins the whole search to
+    unpartitioned GPUs).  The default admits all 19 MIG configurations —
+    the seed single-device behaviour.
+    """
 
     zoo: ModelZoo
     family: str
@@ -90,6 +97,7 @@ class Scheme(ABC):
     mixer: RngMixer = field(default_factory=RngMixer)
     sa_params: SAParams = field(default_factory=SAParams)
     cost_model: OptimizationCostModel = field(default_factory=OptimizationCostModel)
+    max_partition_id: int = len(MIG_PARTITIONS)
     _invocations: int = field(default=0, init=False)
 
     #: Whether carbon-intensity changes should trigger :meth:`optimize`.
@@ -147,7 +155,11 @@ class Co2OptScheme(Scheme):
         self.reoptimizes = False
 
     def initial_config(self) -> ClusterConfig:
-        return co2opt_config(self.zoo.family(self.family), self.n_gpus)
+        return co2opt_config(
+            self.zoo.family(self.family),
+            self.n_gpus,
+            max_partition_id=self.max_partition_id,
+        )
 
 
 @dataclass
@@ -157,7 +169,11 @@ class _SearchScheme(Scheme):
     moves: MoveGenerator = field(init=False)
 
     def _setup(self) -> None:
-        self.moves = MoveGenerator(zoo=self.zoo, family=self.family)
+        self.moves = MoveGenerator(
+            zoo=self.zoo,
+            family=self.family,
+            max_partition_id=self.max_partition_id,
+        )
 
     def initial_config(self) -> ClusterConfig:
         # Both search schemes boot from the BASE deployment (it is what a
@@ -275,18 +291,25 @@ class BloverScheme(_SearchScheme):
 
 
 def enumerate_standardized_configs(
-    zoo: ModelZoo, family: str, n_gpus: int
+    zoo: ModelZoo,
+    family: str,
+    n_gpus: int,
+    max_partition_id: int = len(MIG_PARTITIONS),
 ) -> list[ClusterConfig]:
     """All standardized cluster configurations (ORACLE's search space).
 
     "Standardized" as in the paper's Sec. 5.1: the same partition and the
-    same variant mixture on every GPU.  For each of the 19 partitions, the
-    variant assignment is unique up to the multiset chosen per slice type
-    (slices of equal type are interchangeable), with OOM edges excluded.
+    same variant mixture on every GPU.  For each of the 19 partitions (or
+    the subset the device pool's ``max_partition_id`` granularity admits),
+    the variant assignment is unique up to the multiset chosen per slice
+    type (slices of equal type are interchangeable), with OOM edges
+    excluded.
     """
     fam = zoo.family(family)
     configs: list[ClusterConfig] = []
     for partition in MIG_PARTITIONS:
+        if partition.config_id > max_partition_id:
+            continue
         # Group the partition's slices by type, preserving largest-first order.
         type_counts: dict[int, int] = {}
         for s in partition.slices:
@@ -356,7 +379,7 @@ class OracleScheme(Scheme):
         if self._configs:
             return
         self._configs = enumerate_standardized_configs(
-            self.zoo, self.family, self.n_gpus
+            self.zoo, self.family, self.n_gpus, self.max_partition_id
         )
         evals = [self.evaluator.evaluate(c) for c in self._configs]
         self._accuracy = np.array([e.accuracy for e in evals])
@@ -398,6 +421,7 @@ def make_scheme(
     mixer: RngMixer | None = None,
     sa_params: SAParams | None = None,
     cost_model: OptimizationCostModel | None = None,
+    max_partition_id: int | None = None,
 ) -> Scheme:
     """Factory by scheme name (``"base"`` .. ``"oracle"``)."""
     classes = {
@@ -426,4 +450,6 @@ def make_scheme(
         kwargs["sa_params"] = sa_params
     if cost_model is not None:
         kwargs["cost_model"] = cost_model
+    if max_partition_id is not None:
+        kwargs["max_partition_id"] = max_partition_id
     return cls(**kwargs)

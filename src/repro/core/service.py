@@ -136,8 +136,15 @@ def derive_baseline(
     des_requests: int,
     seed: int,
     pue: float = DEFAULT_PUE,
+    device_pool=None,
 ) -> Baseline:
-    """Measure the BASE deployment to fix ``A_base``, ``C_base`` and the SLA."""
+    """Measure the BASE deployment to fix ``A_base``, ``C_base`` and the SLA.
+
+    ``device_pool`` prices BASE on heterogeneous silicon (see
+    :class:`~repro.core.evaluator.ConfigEvaluator`): the measured p95 — and
+    hence the SLA the fleet is held to — reflects the pool's actual speed,
+    and ``e_base`` its actual joules per request.
+    """
     fam = zoo.family(family)
     evaluator = ConfigEvaluator(
         zoo=zoo,
@@ -148,6 +155,7 @@ def derive_baseline(
         method="des",
         des_requests=des_requests,
         seed=seed,
+        device_pool=device_pool,
     )
     ev = evaluator.evaluate(base_config(fam, n_gpus))
     if ev.overloaded:
@@ -202,6 +210,7 @@ class CarbonAwareInferenceService:
         pue: float = DEFAULT_PUE,
         seed: int = 0,
         baseline: Baseline | None = None,
+        device_pool=None,
     ) -> "CarbonAwareInferenceService":
         """Assemble a service with the paper's methodology defaults.
 
@@ -212,6 +221,12 @@ class CarbonAwareInferenceService:
         65%-of-BASE workload sizing.  Passing ``baseline`` pins the SLA and
         ``C_base`` externally — Fig. 15 uses this to hold the 10-GPU SLA
         while provisioning fewer GPUs.
+
+        ``device_pool`` (a :class:`repro.gpu.profiles.DevicePool`) serves
+        on heterogeneous silicon: the workload sizing, both evaluators, the
+        measured baseline and the scheme's partition search space all
+        parameterize on the pool.  ``None`` — or an all-A100 pool — is the
+        seed single-device service, bit for bit.
         """
         if isinstance(fidelity, str):
             fidelity = FidelityProfile.by_name(fidelity)
@@ -219,11 +234,24 @@ class CarbonAwareInferenceService:
         perf = perf or PerfModel()
         trace = trace if trace is not None else ciso_march_48h()
         fam = zoo.for_application(application)
+        if device_pool is not None and device_pool.is_default_a100:
+            device_pool = None  # the implicit seed fleet, bit for bit
+        if device_pool is not None and device_pool.n_gpus != n_gpus:
+            raise ValueError(
+                f"device pool has {device_pool.n_gpus} GPUs, service "
+                f"declares {n_gpus}"
+            )
 
         rate = (
             rate_per_s
             if rate_per_s is not None
-            else default_rate(fam, perf, n_gpus, utilization)
+            else default_rate(
+                fam, perf, n_gpus, utilization,
+                throughput_scale_sum=(
+                    None if device_pool is None
+                    else device_pool.throughput_scale_sum
+                ),
+            )
         )
         mixer = RngMixer(seed=seed)
 
@@ -238,6 +266,7 @@ class CarbonAwareInferenceService:
                 des_requests=fidelity.sla_des_requests,
                 seed=seed,
                 pue=pue,
+                device_pool=device_pool,
             )
         objective = ObjectiveSpec(
             lambda_weight=lambda_weight,
@@ -256,6 +285,7 @@ class CarbonAwareInferenceService:
             n_gpus=n_gpus,
             method="analytic",
             seed=seed,
+            device_pool=device_pool,
         )
         measure_evaluator = ConfigEvaluator(
             zoo=zoo,
@@ -266,6 +296,7 @@ class CarbonAwareInferenceService:
             method="des",
             des_requests=fidelity.measure_des_requests,
             seed=seed + 1,
+            device_pool=device_pool,
         )
 
         scheme_obj = make_scheme(
@@ -278,6 +309,10 @@ class CarbonAwareInferenceService:
             mixer=mixer,
             sa_params=fidelity.sa_params,
             cost_model=fidelity.cost_model,
+            max_partition_id=(
+                None if device_pool is None
+                else device_pool.partition_granularity
+            ),
         )
         monitor = CarbonIntensityMonitor(trace=trace, threshold=change_threshold)
         controller = ServiceController(

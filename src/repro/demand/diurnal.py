@@ -247,7 +247,17 @@ def _validate(origins: tuple[GeoOrigin, ...], mean_rate: float) -> None:
 def default_demand(
     mean_total_rate_per_s: float, kind: str = "diurnal", **kwargs
 ) -> DemandModel:
-    """Build a demand model over the default origins by kind name."""
+    """Build a demand model over the default origins by kind name.
+
+    >>> model = default_demand(30.0, kind="diurnal")
+    >>> model.origin_names
+    ('asia-pacific', 'europe', 'north-america')
+    >>> rates = model.rates(12.0)          # per-origin req/s at t = 12 h
+    >>> bool(float(rates.sum()) == model.total_rate(12.0) > 0.0)
+    True
+    >>> default_demand(30.0, kind="constant").total_rate(5.0)
+    30.0
+    """
     origins = kwargs.pop("origins", None) or default_origins()
     if kind == "constant":
         return ConstantDemandModel(

@@ -103,7 +103,13 @@ def origin_by_name(name: str) -> GeoOrigin:
 
 
 def default_origins() -> tuple[GeoOrigin, ...]:
-    """The standard three-origin demand world, in registry order."""
+    """The standard three-origin demand world, in registry order.
+
+    >>> [o.zone for o in default_origins()]
+    ['apac', 'eu', 'na']
+    >>> all(o.population_weight > 0 for o in default_origins())
+    True
+    """
     return tuple(origin_by_name(name) for name in ORIGIN_NAMES)
 
 

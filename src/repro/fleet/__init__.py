@@ -17,6 +17,14 @@ routed rate falls (hysteresis-guarded) and wakes them — reactively, paying
 a wake-latency window, or proactively from the forecast-aware router's
 lookahead hints — under one :class:`~repro.fleet.capacity.GatingPolicy`.
 
+Regions may run different GPU generations
+(:attr:`~repro.fleet.regions.Region.devices`, built on
+:mod:`repro.gpu.profiles`): the carbon-greedy and forecast-aware routers
+then rank regions on *effective gCO2/request* (grid intensity x the
+deployed configuration's marginal joules/request on the region's own
+silicon), and gated pools always sleep their least-efficient awake device
+first.  An all-A100 fleet keeps the pre-heterogeneity path bit for bit.
+
 Quickstart::
 
     from repro.fleet import FleetCoordinator, default_fleet_regions

@@ -122,6 +122,13 @@ def make_gating_policy(mode: str, **kwargs) -> GatingPolicy:
     met by a pre-wake that lands without a serving gap, so the preset
     sleeps with a tighter deadband and a shorter low-streak.  Keyword
     overrides win over the preset.
+
+    >>> make_gating_policy("reactive").prewake
+    False
+    >>> make_gating_policy("forecast").sleep_after_epochs
+    1
+    >>> make_gating_policy("reactive", wake_energy_j=1000.0).wake_energy_j
+    1000.0
     """
     presets: dict[str, dict] = {
         "reactive": dict(prewake=False),
@@ -164,13 +171,35 @@ class CapacityManager:
         Physical pool size.
     capacity_rate_per_s:
         The region's max-utilization rate with every GPU awake; awake
-        capacity scales linearly (``capacity * awake / n_gpus``).
+        capacity scales linearly (``capacity * awake / n_gpus``) unless
+        per-device rates are given.
     policy:
         The gating knobs.
+    per_gpu_rates:
+        Heterogeneous pools: each device's max-utilization rate in the
+        pool's canonical most-efficient-first order.  The awake set is
+        always a canonical *prefix*, so sizing down gates the
+        least-efficient awake device first — sleeping releases the worst
+        silicon and keeps the best (``None``: homogeneous arithmetic).
+
+    >>> mgr = CapacityManager(
+    ...     n_gpus=2, capacity_rate_per_s=30.0, policy=GatingPolicy(),
+    ...     # Pool-canonical order is most-carbon-*efficient* first, not
+    ...     # fastest first: here an L4 (10 req/s) ahead of an A100 (20).
+    ...     per_gpu_rates=(10.0, 20.0),
+    ... )
+    >>> mgr.gpus_for(rate_per_s=7.0, utilization=0.75)  # 7 <= 0.75 * 10
+    1
+    >>> mgr.gpus_for(rate_per_s=14.0, utilization=0.75)  # A100 wakes too
+    2
     """
 
     def __init__(
-        self, n_gpus: int, capacity_rate_per_s: float, policy: GatingPolicy
+        self,
+        n_gpus: int,
+        capacity_rate_per_s: float,
+        policy: GatingPolicy,
+        per_gpu_rates: tuple[float, ...] | None = None,
     ) -> None:
         if n_gpus < 1:
             raise ValueError(f"a pool needs at least one GPU, got {n_gpus}")
@@ -182,9 +211,27 @@ class CapacityManager:
             raise ValueError(
                 f"min awake {policy.min_awake} exceeds the pool of {n_gpus}"
             )
+        if per_gpu_rates is not None:
+            if len(per_gpu_rates) != n_gpus:
+                raise ValueError(
+                    f"{len(per_gpu_rates)} per-GPU rates for {n_gpus} GPUs"
+                )
+            if any(r <= 0 for r in per_gpu_rates):
+                raise ValueError(
+                    f"per-GPU rates must be positive, got {per_gpu_rates}"
+                )
         self.n_gpus = n_gpus
         self.policy = policy
         self._per_gpu_rate = capacity_rate_per_s / n_gpus
+        # Awake-prefix cumulative capacities: _prefix_rates[k] is the rate
+        # the first k canonical devices sustain at full utilization.
+        self._prefix_rates: tuple[float, ...] | None = None
+        if per_gpu_rates is not None:
+            acc, total = [0.0], 0.0
+            for r in per_gpu_rates:
+                total += float(r)
+                acc.append(total)
+            self._prefix_rates = tuple(acc)
         self.reset()
 
     def reset(self) -> None:
@@ -208,14 +255,27 @@ class CapacityManager:
     # ------------------------------------------------------------------ #
 
     def gpus_for(self, rate_per_s: float, utilization: float) -> int:
-        """Smallest awake count keeping ``rate`` within ``utilization``."""
+        """Smallest awake count keeping ``rate`` within ``utilization``.
+
+        With per-device rates the count is the shortest canonical prefix
+        whose capacity absorbs the rate — so the devices woken for a rise
+        (and the ones released by a fall) are always the least-efficient
+        ones in the pool.
+        """
         if rate_per_s <= 0.0:
             return self.policy.min_awake
+        if self._prefix_rates is not None:
+            for k in range(self.policy.min_awake, self.n_gpus + 1):
+                if utilization * self._prefix_rates[k] >= rate_per_s:
+                    return k
+            return self.n_gpus
         needed = math.ceil(rate_per_s / (utilization * self._per_gpu_rate))
         return max(self.policy.min_awake, min(self.n_gpus, needed))
 
     def awake_rate_per_s(self) -> float:
         """Rate the current awake set carries at full utilization."""
+        if self._prefix_rates is not None:
+            return self._prefix_rates[self.awake]
         return self.awake * self._per_gpu_rate
 
     # ------------------------------------------------------------------ #

@@ -497,6 +497,13 @@ class FleetCoordinator:
             0.0 if drain_share_per_h is None
             else max(0.0, 1.0 - drain_share_per_h * step_h)
         )
+        # Whether any region runs non-default silicon.  Homogeneous
+        # (implicit all-A100) fleets skip the per-epoch efficiency signal
+        # entirely: the routing context carries no energy term and every
+        # ranking stays bit-for-bit the pre-heterogeneity ordering.
+        self._heterogeneous = any(
+            s.device_pool is not None for s in self.services
+        )
         self._nominal = np.array(
             [s.nominal_rate_per_s for s in self.services], dtype=np.float64
         )
@@ -539,7 +546,7 @@ class FleetCoordinator:
             # silently break the invariant.
             for s in services:
                 ceiling = (
-                    s.power_model.static_watts_per_gpu() * gating.wake_latency_s
+                    s.min_static_watts_per_gpu() * gating.wake_latency_s
                 )
                 if gating.wake_energy_j > ceiling * (1.0 + 1e-9):
                     raise ValueError(
@@ -554,6 +561,7 @@ class FleetCoordinator:
                     n_gpus=s.region.n_gpus,
                     capacity_rate_per_s=s.capacity_rate_per_s,
                     policy=gating,
+                    per_gpu_rates=s.device_capacity_rates,
                 )
                 for s in self.services
             ]
@@ -741,6 +749,33 @@ class FleetCoordinator:
             max_ramp_share=self.max_ramp_share,
             max_drain_share=self.max_drain_share,
             forecast_global_rate_per_s=forecast_rate,
+            # The per-region efficiency signal: joules/request of each
+            # region's deployed configuration on its own silicon — dynamic
+            # only while the fleet is always-on (static is sunk), plus the
+            # marginal device's amortized static draw once gating makes
+            # idle power follow traffic.  Only computed when something
+            # will read it: the fleet is heterogeneous AND the router
+            # ranks efficiency-weighted.  Homogeneous fleets (and the
+            # intensity-only ablation, and the static/latency policies)
+            # carry no energy term, so their rankings stay exactly the
+            # (bit-for-bit) pre-heterogeneity orderings.
+            energy_per_request_j=(
+                np.array(
+                    [
+                        s.marginal_energy_per_request_j(
+                            static_amortize_utilization=(
+                                None
+                                if self.gating is None
+                                else self.gating.target_utilization
+                            )
+                        )
+                        for s in self.services
+                    ]
+                )
+                if self._heterogeneous
+                and getattr(self.router, "efficiency_weighted", False)
+                else None
+            ),
         )
 
     #: Quadrature points for the window-mean forecast per epoch.
@@ -806,9 +841,12 @@ class FleetCoordinator:
             hint = float(hints[r]) if hints is not None else None
             decision = mgr.settle(float(rates[r]), hint_rate_per_s=hint)
             svc.set_awake(decision.awake)
-            sleeping = svc.region.n_gpus - decision.awake
+            # Sleeping devices are priced individually: heterogeneous
+            # pools gate their canonical tail, and each gated device owes
+            # its own sleep-state watts (homogeneous fleets reduce to the
+            # original sleep_watts x sleeping product, bit for bit).
             aux_energy = (
-                svc.power_model.sleep_watts_per_gpu() * sleeping * self.step_s
+                svc.sleeping_draw_watts(decision.awake) * self.step_s
                 + self.gating.wake_energy_j * decision.woken
             )
             capacities.append(
@@ -830,6 +868,21 @@ class FleetCoordinator:
         against *physical* capacity, and each region then reconciles its
         routed rate with its awake GPUs — waking reactively (and paying
         the wake-latency window) or banking pre-wakes for the next epoch.
+
+        Runs are deterministic given the construction seed.  A minimal
+        single-region fleet at smoke fidelity (hourly epochs):
+
+        >>> from repro.fleet import FleetCoordinator, region_by_name
+        >>> fleet = FleetCoordinator.create(
+        ...     [region_by_name("us-ciso", n_gpus=2)], router="static",
+        ...     scheme="base", fidelity="smoke", seed=0)
+        >>> result = fleet.run(duration_h=2.0)
+        >>> len(result.results[0].epochs)
+        2
+        >>> result.total_requests > 0 and result.total_carbon_g > 0
+        True
+        >>> result.request_shares  # one region carries everything
+        {'us-ciso': 1.0}
         """
         if duration_h is None:
             duration_h = min(s.region.trace.span_h for s in self.services)

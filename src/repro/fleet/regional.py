@@ -27,6 +27,7 @@ from repro.core.service import (
     derive_baseline,
 )
 from repro.fleet.regions import Region
+from repro.gpu.profiles import A100_PROFILE, DevicePool
 from repro.models.perf import PerfModel
 from repro.models.zoo import ModelZoo, default_zoo
 from repro.serving.sla import SlaPolicy
@@ -61,6 +62,18 @@ class RegionalService:
     service: CarbonAwareInferenceService
     nominal_rate_per_s: float
     capacity_rate_per_s: float
+    #: The region's device pool; ``None`` is the implicit all-A100 fleet
+    #: (the bit-for-bit pre-heterogeneity path).
+    device_pool: DevicePool | None = None
+    #: Per-device max-utilization rates, pool-canonical order (``None``
+    #: for the homogeneous implicit fleet).
+    device_capacity_rates: tuple[float, ...] | None = None
+    #: Per-device joules/request at the sizing operating point,
+    #: pool-canonical order (most efficient first); the last awake entry
+    #: is the marginal-device efficiency signal routing consumes.
+    device_energies_j: tuple[float, ...] | None = None
+    #: Joules/request of the implicit A100 fleet (used when no pool).
+    reference_energy_j: float = 0.0
     #: Awake-GPU override (``None`` = fully awake, the always-on path).
     _awake_gpus: int | None = field(default=None, init=False, repr=False)
 
@@ -98,7 +111,16 @@ class RegionalService:
         zoo = zoo or default_zoo()
         perf = perf or PerfModel()
         fam = zoo.for_application(application)
-        nominal = default_rate(fam, perf, region.n_gpus, utilization)
+        # The region's silicon: an all-A100 pool normalizes to None so the
+        # homogeneous fleet keeps the pre-heterogeneity path bit for bit.
+        pool = region.device_pool()
+        if pool.is_default_a100:
+            pool = None
+        scale_sum = None if pool is None else pool.throughput_scale_sum
+        nominal = default_rate(
+            fam, perf, region.n_gpus, utilization,
+            throughput_scale_sum=scale_sum,
+        )
         baseline = derive_baseline(
             zoo=zoo,
             perf=perf,
@@ -109,6 +131,7 @@ class RegionalService:
             des_requests=fidelity.sla_des_requests,
             seed=seed,
             pue=region.pue,
+            device_pool=pool,
         )
         if region.net_latency_ms > 0.0:
             budget = baseline.sla.p95_target_ms - region.net_latency_ms
@@ -134,13 +157,32 @@ class RegionalService:
             pue=region.pue,
             seed=seed,
             baseline=baseline,
+            device_pool=pool,
+        )
+        full = default_rate(
+            fam, perf, region.n_gpus, max_utilization,
+            throughput_scale_sum=scale_sum,
+        )
+        per_gpu_capacity = None
+        if pool is not None:
+            unit = full / pool.throughput_scale_sum
+            per_gpu_capacity = tuple(
+                unit * s for s in pool.throughput_scales()
+            )
+        energies = tuple(
+            p.reference_energy_per_request_j(perf, fam.largest, utilization)
+            for p in (pool.profiles if pool is not None else ())
         )
         return cls(
             region=region,
             service=service,
             nominal_rate_per_s=nominal,
-            capacity_rate_per_s=default_rate(
-                fam, perf, region.n_gpus, max_utilization
+            capacity_rate_per_s=full,
+            device_pool=pool,
+            device_capacity_rates=per_gpu_capacity,
+            device_energies_j=energies or None,
+            reference_energy_j=A100_PROFILE.reference_energy_per_request_j(
+                perf, fam.largest, utilization
             ),
         )
 
@@ -194,12 +236,119 @@ class RegionalService:
 
         Fully awake returns the stored cap untouched (``x * n / n`` does
         not always round-trip in IEEE floats, and the always-on path must
-        stay bit-for-bit the seed path).
+        stay bit-for-bit the seed path).  A heterogeneous pool sums the
+        awake canonical *prefix* of per-device rates — the devices left
+        awake are the most efficient ones, but not necessarily an equal
+        share of capacity (an awake L4 carries less than a slept A100
+        released).
         """
         if self._awake_gpus is None:
             return self.capacity_rate_per_s
+        if self.device_capacity_rates is not None:
+            return float(sum(self.device_capacity_rates[: self._awake_gpus]))
         return (
             self.capacity_rate_per_s * self._awake_gpus / self.region.n_gpus
+        )
+
+    def awake_static_watts(self) -> float:
+        """Always-on draw of the awake devices (pool-aware)."""
+        if self.device_pool is None:
+            return (
+                self.power_model.static_watts_per_gpu() * self.awake_gpus
+            )
+        return float(
+            sum(
+                p.power.static_watts_per_gpu()
+                for p in self.device_pool.profiles[: self.awake_gpus]
+            )
+        )
+
+    def marginal_energy_per_request_j(
+        self, static_amortize_utilization: float | None = None
+    ) -> float:
+        """Joules one more request costs on this region's silicon.
+
+        The efficiency signal routing ranks on: grid intensity times this
+        is the gCO2 an additional request routed here costs.  The dynamic
+        term is the *deployed configuration's* joules per request — which
+        is what makes the signal honest on heterogeneous fleets: a
+        MIG-partitioned A100 serving small variants can out-efficiency an
+        unpartitionable L4 even though the L4's BASE deployment is leaner,
+        and the signal must reflect the silicon as actually configured,
+        not as shipped.
+
+        What happens to static draw depends on whether idle power follows
+        traffic.  In an **always-on** fleet
+        (``static_amortize_utilization=None``) the idle watts are paid
+        wherever the request goes, so only dynamic energy moves with the
+        routing decision and static is excluded.  In a **gated** fleet the
+        capacity manager sleeps the devices a drained region stops
+        needing, so a marginal request also owns its share of the marginal
+        device's static draw — amortized at the gating policy's target
+        utilization of that device's capacity.
+
+        Priced by the analytic evaluator at the awake-capped nominal rate
+        (cached by (graph, rate, awake, pool) — one evaluation per
+        deployment change).  Before the first deployment it falls back to
+        the closed-form BASE energy of the marginal (least-efficient
+        awake) device.
+        """
+        deployed = self.controller.deployed
+        if deployed is None:
+            if self.device_energies_j is not None:
+                return self.device_energies_j[self.awake_gpus - 1]
+            return self.reference_energy_j
+        rate = min(self.nominal_rate_per_s, self.awake_capacity_rate_per_s)
+        ev = self.service.scheme.evaluator.evaluate(deployed, rate_per_s=rate)
+        dynamic_w = max(ev.power_watts - self.awake_static_watts(), 0.0)
+        energy = dynamic_w / rate
+        if static_amortize_utilization is not None:
+            marginal = self.awake_gpus - 1
+            if self.device_pool is not None:
+                static_w = self.device_pool.profiles[
+                    marginal
+                ].power.static_watts_per_gpu()
+                device_rate = self.device_capacity_rates[marginal]
+            else:
+                static_w = self.power_model.static_watts_per_gpu()
+                device_rate = self.capacity_rate_per_s / self.region.n_gpus
+            energy += static_w / (static_amortize_utilization * device_rate)
+        return energy
+
+    def min_static_watts_per_gpu(self) -> float:
+        """The smallest always-on per-GPU draw across the region's pool.
+
+        The gating wake-energy invariant (a gated epoch never out-spends
+        its always-on twin) must hold for *every* device, so the ceiling
+        is checked against the least power-hungry one.
+        """
+        if self.device_pool is None:
+            return self.power_model.static_watts_per_gpu()
+        return min(
+            p.power.static_watts_per_gpu() for p in self.device_pool.profiles
+        )
+
+    def sleeping_draw_watts(self, awake_gpus: int) -> float:
+        """Total sleep-state draw of the gated devices at ``awake_gpus``.
+
+        Homogeneous fleets multiply the power model's sleep watts by the
+        sleeping count (the pre-heterogeneity arithmetic, bit for bit);
+        pools sum each gated device's own sleep draw — sleeping always
+        trims the canonical tail, so the gated set is the suffix.
+        """
+        sleeping = self.region.n_gpus - awake_gpus
+        if sleeping < 0:
+            raise ValueError(
+                f"awake count {awake_gpus} exceeds the pool of "
+                f"{self.region.n_gpus}"
+            )
+        if self.device_pool is None:
+            return self.power_model.sleep_watts_per_gpu() * sleeping
+        return float(
+            sum(
+                p.power.sleep_watts
+                for p in self.device_pool.profiles[awake_gpus:]
+            )
         )
 
     def set_awake(self, awake_gpus: int | None) -> None:

@@ -30,6 +30,7 @@ from repro.carbon.traces import (
     eso_march_48h,
 )
 from repro.core.service import PAPER_N_GPUS
+from repro.gpu.profiles import DevicePool, profile_by_name
 
 __all__ = [
     "Region",
@@ -59,10 +60,18 @@ class Region:
         latency matrix (the region's nearest-origin hop; farther origins'
         extra latency is charged per pair).
     n_gpus:
-        GPUs provisioned in the region's cluster.
+        GPUs provisioned in the region's cluster.  Must be positive — a
+        region with no hardware can serve nothing and is a configuration
+        error, not a degenerate fleet.
     zone:
         Coarse geographic zone (``"na"``, ``"eu"``, ``"apac"``) used by the
         demand layer to price origin→region network latency.
+    devices:
+        The region's GPU generations: a registry profile name (``"l4"`` —
+        every GPU is that device), an explicit per-GPU tuple of names
+        (``("a100", "a100", "l4")`` — mixed fleets are allowed; its length
+        must equal ``n_gpus``), or ``None`` for the implicit all-A100
+        fleet, which keeps the pre-heterogeneity code path bit for bit.
     """
 
     name: str
@@ -71,6 +80,7 @@ class Region:
     net_latency_ms: float = 0.0
     n_gpus: int = PAPER_N_GPUS
     zone: str = "na"
+    devices: tuple[str, ...] | str | None = None
 
     def __post_init__(self) -> None:
         if self.pue < 1.0:
@@ -81,10 +91,51 @@ class Region:
             )
         if self.n_gpus <= 0:
             raise ValueError(f"n_gpus must be positive, got {self.n_gpus}")
+        # Validate the device mix eagerly: an unknown profile name or a
+        # count that disagrees with n_gpus must fail at construction, not
+        # deep inside fleet assembly.
+        for name in self.device_names:
+            profile_by_name(name)
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        """Per-GPU profile names (the implicit fleet is all ``"a100"``)."""
+        if self.devices is None:
+            return ("a100",) * self.n_gpus
+        if isinstance(self.devices, str):
+            return (self.devices.lower(),) * self.n_gpus
+        if len(self.devices) != self.n_gpus:
+            raise ValueError(
+                f"region {self.name!r} declares {self.n_gpus} GPUs but "
+                f"{len(self.devices)} device entries: {self.devices}"
+            )
+        return tuple(d.lower() for d in self.devices)
+
+    def device_pool(self) -> DevicePool:
+        """The region's GPU fleet as a canonically-ordered device pool."""
+        return DevicePool.of(self.device_names)
 
     def with_gpus(self, n_gpus: int) -> "Region":
-        """Clone with a different cluster size (experiment convenience)."""
-        return replace(self, n_gpus=n_gpus)
+        """Clone with a different cluster size (experiment convenience).
+
+        A uniform device mix resizes with the cluster; an explicit mixed
+        tuple cannot be resized implicitly — use :meth:`with_devices`.
+        """
+        devices = self.devices
+        if isinstance(devices, tuple):
+            if len(set(devices)) == 1:
+                devices = devices[0]
+            else:
+                raise ValueError(
+                    f"region {self.name!r} has an explicit mixed device "
+                    "fleet; resize it with with_devices(...) instead"
+                )
+        return replace(self, n_gpus=n_gpus, devices=devices)
+
+    def with_devices(self, devices: tuple[str, ...] | str) -> "Region":
+        """Clone with a new device mix (n_gpus follows an explicit tuple)."""
+        n_gpus = len(devices) if isinstance(devices, tuple) else self.n_gpus
+        return replace(self, n_gpus=n_gpus, devices=devices)
 
 
 #: Registry rows: profile or trace factory, PUE, network latency, trace seed.
@@ -111,8 +162,17 @@ _SYNTH_SEEDS = {"nordic-hydro": 20210322, "apac-solar": 20230115}
 REGION_NAMES = tuple(sorted(_REGION_SPECS))
 
 
-def region_by_name(name: str, n_gpus: int = PAPER_N_GPUS) -> Region:
-    """Build a registry region (``"us-ciso"``, ``"uk-eso"``, ...)."""
+def region_by_name(
+    name: str,
+    n_gpus: int = PAPER_N_GPUS,
+    devices: tuple[str, ...] | str | None = None,
+) -> Region:
+    """Build a registry region (``"us-ciso"``, ``"uk-eso"``, ...).
+
+    ``devices`` optionally assigns the region's GPU generations — a
+    profile name for a uniform fleet or a per-GPU tuple for a mixed one
+    (see :attr:`Region.devices`).
+    """
     key = name.lower()
     try:
         profile, pue, latency, zone = _REGION_SPECS[key]
@@ -127,7 +187,7 @@ def region_by_name(name: str, n_gpus: int = PAPER_N_GPUS) -> Region:
         )
     return Region(
         name=key, trace=trace, pue=pue, net_latency_ms=latency, n_gpus=n_gpus,
-        zone=zone,
+        zone=zone, devices=devices,
     )
 
 
@@ -148,6 +208,7 @@ def make_region(
     net_latency_ms: float = 0.0,
     n_gpus: int = PAPER_N_GPUS,
     zone: str = "na",
+    devices: tuple[str, ...] | str | None = None,
 ) -> Region:
     """Build a custom region from a grid profile (deterministic trace)."""
     trace = generate_trace(profile, days=days, step_h=1.0, rng=seed)
@@ -158,4 +219,5 @@ def make_region(
         net_latency_ms=net_latency_ms,
         n_gpus=n_gpus,
         zone=zone,
+        devices=devices,
     )

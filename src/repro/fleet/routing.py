@@ -15,12 +15,19 @@ Three policies, per the paper-adjacent systems (EcoServe, CarbonEdge):
   makes an N=1 fleet reproduce the single-cluster service bit-for-bit.
 * **latency** — greedy water-fill in order of network latency: nearby
   regions first, subject to per-region capacity.  Carbon-blind.
-* **carbon-greedy** — greedy water-fill in order of *effective* carbon
-  intensity (grid intensity x PUE): cleanest grid first, subject to each
-  region's capacity cap and an SLA cap (the highest rate at which the
-  deployed configuration's estimated p95 plus the region's network latency
-  still meets the SLA).  Every region keeps a small floor share —
-  geo-resident traffic that cannot be shifted.
+* **carbon-greedy** — greedy water-fill in order of *effective carbon per
+  request*: grid intensity x PUE x the region's joules/request at its
+  marginal device.  On a homogeneous fleet the energy term is identical
+  everywhere and the ranking degenerates to the classic cleanest-grid
+  ordering (bit-for-bit the pre-heterogeneity behaviour); on a
+  heterogeneous fleet it stops the router from dumping load onto a clean
+  grid that happens to run inefficient silicon.  ``efficiency_weighted=
+  False`` restores the intensity-only ranking (the ablation the hetero
+  benchmark measures against).  Fills are subject to each region's
+  capacity cap and an SLA cap (the highest rate at which the deployed
+  configuration's estimated p95 plus the region's network latency still
+  meets the SLA).  Every region keeps a small floor share — geo-resident
+  traffic that cannot be shifted.
 * **forecast-aware** — like carbon-greedy, but ranks regions on a blend of
   the *current* and the *forecast* effective intensity a lookahead horizon
   ahead.  Under per-epoch ramp limits (traffic shifts cost migrations, so a
@@ -92,6 +99,11 @@ class RoutingContext:
     prev_shares: np.ndarray | None = None
     max_ramp_share: float = 1.0
     max_drain_share: float | None = None
+    #: Per-region joules/request at the marginal device (``None`` when the
+    #: coordinator predates device heterogeneity).  On a homogeneous fleet
+    #: every entry is equal, and efficiency-aware rankings reduce exactly
+    #: to the intensity rankings.
+    energy_per_request_j: np.ndarray | None = None
     #: Predicted *global* arrival rate one epoch ahead (``None`` unless the
     #: coordinator runs pre-wake gating).  Routers use it to project where
     #: the next epoch's traffic will land, so capacity can be woken ahead
@@ -134,6 +146,33 @@ class RoutingContext:
         if self.forecast_ci is None:
             return None
         return self.forecast_ci * self.pue
+
+    def efficiency_scores(self, intensity_scores: np.ndarray) -> np.ndarray:
+        """Scale intensity scores to effective gCO2/request.
+
+        Multiplies by each region's marginal-device joules/request so the
+        ranking prices silicon as well as grid.  When the energy signal is
+        missing **or flat** (every region runs the same device) the
+        intensity scores are returned untouched — not merely an equal
+        reordering, the *identical array* — which is what keeps the
+        homogeneous fleet bit-for-bit on the pre-heterogeneity path.
+
+        >>> import numpy as np
+        >>> ctx = RoutingContext(
+        ...     t_h=0.0, global_rate_per_s=10.0,
+        ...     ci=np.array([100.0, 200.0]), pue=np.array([1.0, 1.0]),
+        ...     net_latency_ms=np.zeros(2), nominal_rates=np.ones(2),
+        ...     capacity_rates=np.ones(2), sla_cap_rates=np.ones(2),
+        ...     floor_rates=np.zeros(2),
+        ...     energy_per_request_j=np.array([12.0, 5.0]),
+        ... )
+        >>> ctx.efficiency_scores(ctx.effective_ci)  # dirty grid, lean GPU
+        array([1200., 1000.])
+        """
+        e = self.energy_per_request_j
+        if e is None or float(np.ptp(e)) == 0.0:
+            return intensity_scores
+        return intensity_scores * e
 
 
 class Router(ABC):
@@ -298,20 +337,36 @@ class LatencyAwareRouter(Router):
 
 @dataclass
 class CarbonGreedyRouter(Router):
-    """Cleanest-grid-first water-fill under capacity and SLA caps.
+    """Cheapest-carbon-per-request water-fill under capacity and SLA caps.
 
     Shifts as much of the global workload as the caps allow toward the
-    region with the lowest effective carbon intensity this epoch, then the
-    next cleanest, and so on.  The SLA cap keeps the shift honest: a clean
-    region only absorbs extra traffic up to the rate at which its deployed
-    configuration still meets the SLA after the added network latency.
+    region with the lowest *effective gCO2 per request* this epoch — grid
+    intensity x PUE x joules/request at the region's marginal device —
+    then the next cheapest, and so on.  The SLA cap keeps the shift
+    honest: a clean region only absorbs extra traffic up to the rate at
+    which its deployed configuration still meets the SLA after the added
+    network latency.
+
+    ``efficiency_weighted=False`` is the intensity-only ablation: the
+    pre-PR-4 ranking that chases clean grids even onto inefficient
+    silicon.  On a homogeneous fleet the two are identical (the energy
+    term is flat and drops out).
+
+    >>> make_router("carbon-greedy").efficiency_weighted
+    True
+    >>> make_router("carbon-greedy", efficiency_weighted=False).name
+    'carbon-greedy'
     """
 
+    efficiency_weighted: bool = True
     name: str = field(default="carbon-greedy", init=False)
     needs_sla_caps = True
 
     def region_order(self, ctx: RoutingContext) -> np.ndarray:
-        return np.argsort(ctx.effective_ci, kind="stable")
+        scores = ctx.effective_ci
+        if self.efficiency_weighted:
+            scores = ctx.efficiency_scores(scores)
+        return np.argsort(scores, kind="stable")
 
     def split(self, ctx: RoutingContext) -> np.ndarray:
         return _water_fill(ctx, self.region_order(ctx)) / ctx.global_rate_per_s
@@ -351,6 +406,12 @@ class ForecastAwareRouter(Router):
     blend: float = 0.6
     regret_threshold: float = 0.25
     regret_memory: float = 0.9
+    #: Weight rankings by each region's marginal-device joules/request
+    #: (identical to the intensity ranking on a homogeneous fleet); the
+    #: blended intensity score and the pre-wake projection both get the
+    #: efficiency scaling, while the regret guard keeps scoring the raw
+    #: intensity forecasts (the forecaster predicts grids, not silicon).
+    efficiency_weighted: bool = True
     name: str = field(default="forecast-aware", init=False)
     needs_sla_caps = True
     needs_forecast = True
@@ -451,7 +512,10 @@ class ForecastAwareRouter(Router):
         return (1.0 - w) * ctx.effective_ci + w * forecast
 
     def region_order(self, ctx: RoutingContext) -> np.ndarray:
-        return np.argsort(self._score(ctx), kind="stable")
+        scores = self._score(ctx)
+        if self.efficiency_weighted:
+            scores = ctx.efficiency_scores(scores)
+        return np.argsort(scores, kind="stable")
 
     def split(self, ctx: RoutingContext) -> np.ndarray:
         return _water_fill(ctx, self.region_order(ctx)) / ctx.global_rate_per_s
@@ -473,7 +537,10 @@ class ForecastAwareRouter(Router):
             or ctx.forecast_global_rate_per_s <= 0.0
         ):
             return None
-        order = np.argsort(ctx.effective_forecast_ci, kind="stable")
+        scores = ctx.effective_forecast_ci
+        if self.efficiency_weighted:
+            scores = ctx.efficiency_scores(scores)
+        order = np.argsort(scores, kind="stable")
         projected = replace(
             ctx, global_rate_per_s=float(ctx.forecast_global_rate_per_s)
         )
@@ -536,6 +603,31 @@ def plan_origin_cells(
 
     Returns the (origin x region) rate plan; row sums equal
     ``origin_rates`` and the grand total the global rate.
+
+    A minimal two-origin, two-region plan — region 0 is preferred (say,
+    the cleaner grid), each origin is near one region, and conservation
+    is structural:
+
+    >>> import numpy as np
+    >>> ctx = RoutingContext(
+    ...     t_h=0.0, global_rate_per_s=30.0,
+    ...     ci=np.array([100.0, 300.0]), pue=np.ones(2),
+    ...     net_latency_ms=np.array([5.0, 30.0]),
+    ...     nominal_rates=np.array([20.0, 10.0]),
+    ...     capacity_rates=np.array([26.0, 13.0]),
+    ...     sla_cap_rates=np.array([26.0, 13.0]),
+    ...     floor_rates=np.array([1.0, 0.5]))
+    >>> latency = np.array([[5.0, 80.0], [70.0, 8.0]])  # origins x regions
+    >>> plan = plan_origin_cells(
+    ...     ctx, order=np.array([0, 1]),
+    ...     origin_rates=np.array([18.0, 12.0]),
+    ...     latency_ms=latency,
+    ...     user_targets_ms=np.array([120.0, 120.0]),
+    ...     sla_rate_fn=lambda r, budget_ms: ctx.sla_cap_rates[r])
+    >>> bool(np.allclose(plan.sum(axis=1), [18.0, 12.0]))  # demand conserved
+    True
+    >>> bool(plan[0, 0] > plan[0, 1])  # origin 0 served mostly at region 0
+    True
     """
     n_o, n_r = latency_ms.shape
     supply = np.asarray(origin_rates, dtype=np.float64).copy()

@@ -6,8 +6,11 @@ GPUs with Multi-Instance GPU (MIG) partitioning.  It provides
 * the five MIG slice types (:mod:`repro.gpu.slices`),
 * the 19 valid partition configurations of an A100 (:mod:`repro.gpu.partitions`),
 * a stateful GPU device with repartitioning costs (:mod:`repro.gpu.device`),
-* the idle + dynamic power model (:mod:`repro.gpu.power`), and
-* a multi-GPU cluster with slice-histogram feasibility (:mod:`repro.gpu.cluster`).
+* the idle + dynamic power model (:mod:`repro.gpu.power`),
+* a multi-GPU cluster with slice-histogram feasibility (:mod:`repro.gpu.cluster`), and
+* heterogeneous device generations — A100 / H100 / L4 profiles with
+  distinct power curves, throughput scalars, wake latencies and partition
+  granularities (:mod:`repro.gpu.profiles`).
 """
 
 from repro.gpu.slices import SliceType, SLICE_TYPES, slice_by_name
@@ -23,6 +26,17 @@ from repro.gpu.partitions import (
 from repro.gpu.device import GpuDevice, GpuSpec, A100_40GB
 from repro.gpu.power import PowerModel
 from repro.gpu.cluster import GpuCluster, decompose_histogram, histogram_is_feasible
+from repro.gpu.profiles import (
+    A100_PROFILE,
+    DEVICE_NAMES,
+    DEVICE_PROFILES,
+    DevicePool,
+    DeviceProfile,
+    H100_PROFILE,
+    L4_PROFILE,
+    parse_devices,
+    profile_by_name,
+)
 
 __all__ = [
     "SliceType",
@@ -42,4 +56,13 @@ __all__ = [
     "GpuCluster",
     "decompose_histogram",
     "histogram_is_feasible",
+    "DeviceProfile",
+    "DevicePool",
+    "DEVICE_PROFILES",
+    "DEVICE_NAMES",
+    "A100_PROFILE",
+    "H100_PROFILE",
+    "L4_PROFILE",
+    "profile_by_name",
+    "parse_devices",
 ]

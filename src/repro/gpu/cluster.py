@@ -93,7 +93,9 @@ def _decompose(h: tuple[int, ...], n: int, max_id: int) -> tuple[int, ...] | Non
     return None
 
 
-def decompose_histogram(histogram, n_gpus: int) -> tuple[int, ...] | None:
+def decompose_histogram(
+    histogram, n_gpus: int, max_partition_id: int = NUM_PARTITIONS
+) -> tuple[int, ...] | None:
     """Split a cluster slice histogram into per-GPU MIG partition ids.
 
     Parameters
@@ -103,6 +105,11 @@ def decompose_histogram(histogram, n_gpus: int) -> tuple[int, ...] | None:
         i.e. ``[#1g, #2g, #3g, #4g, #7g]``).
     n_gpus:
         Number of GPUs that must each receive exactly one partition.
+    max_partition_id:
+        Highest partition config id any GPU may receive — the pool's
+        partition granularity (see
+        :attr:`repro.gpu.profiles.DevicePool.partition_granularity`); the
+        default admits every MIG configuration.
 
     Returns
     -------
@@ -111,32 +118,56 @@ def decompose_histogram(histogram, n_gpus: int) -> tuple[int, ...] | None:
     """
     if n_gpus < 0:
         raise ValueError(f"n_gpus must be non-negative, got {n_gpus}")
+    if not 1 <= max_partition_id <= NUM_PARTITIONS:
+        raise ValueError(
+            f"max partition id must be in [1, {NUM_PARTITIONS}], "
+            f"got {max_partition_id}"
+        )
     h = _normalize_histogram(histogram)
-    return _decompose(h, n_gpus, NUM_PARTITIONS)
+    return _decompose(h, n_gpus, max_partition_id)
 
 
-def histogram_is_feasible(histogram, n_gpus: int) -> bool:
+def histogram_is_feasible(
+    histogram, n_gpus: int, max_partition_id: int = NUM_PARTITIONS
+) -> bool:
     """Whether ``histogram`` is realizable on exactly ``n_gpus`` GPUs."""
-    return decompose_histogram(histogram, n_gpus) is not None
+    return decompose_histogram(histogram, n_gpus, max_partition_id) is not None
 
 
 @dataclass
 class GpuCluster:
-    """A pool of identical MIG-capable GPUs (the paper's 10×A100 testbed).
+    """A pool of MIG-capable GPUs (the paper's testbed is 10 x A100).
 
     The cluster owns the devices and exposes aggregate views the serving and
     optimization layers need: the flattened slice inventory and the
     cluster-wide slice histogram.
+
+    By default every device is an identical ``spec`` GPU (the seed path).
+    Passing ``pool`` — a :class:`repro.gpu.profiles.DevicePool` — builds a
+    heterogeneous cluster instead: one device per pool profile, in the
+    pool's canonical most-efficient-first order, each enforcing its own
+    partition granularity (an L4 device rejects MIG repartitions).
     """
 
     n_gpus: int
     spec: GpuSpec = A100_40GB
+    pool: "object | None" = None
     devices: list[GpuDevice] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.n_gpus <= 0:
             raise ValueError(f"cluster needs at least one GPU, got {self.n_gpus}")
-        self.devices = [GpuDevice(gpu_id=i, spec=self.spec) for i in range(self.n_gpus)]
+        if self.pool is not None:
+            if self.pool.n_gpus != self.n_gpus:
+                raise ValueError(
+                    f"device pool has {self.pool.n_gpus} GPUs, "
+                    f"cluster declares {self.n_gpus}"
+                )
+            self.devices = self.pool.make_devices()
+        else:
+            self.devices = [
+                GpuDevice(gpu_id=i, spec=self.spec) for i in range(self.n_gpus)
+            ]
 
     @property
     def partition_ids(self) -> tuple[int, ...]:
@@ -157,8 +188,13 @@ class GpuCluster:
             raise ValueError(
                 f"expected {self.n_gpus} partition ids, got {len(partition_ids)}"
             )
-        for pid in partition_ids:
+        for dev, pid in zip(self.devices, partition_ids):
             partition_by_id(pid)  # raises on an unknown id, pre-mutation
+            # Device-granularity check, also pre-mutation: a non-MIG
+            # device midway through the list must not leave the cluster
+            # half-repartitioned.
+            if pid != dev.partition_id:
+                dev.check_supported(pid)
         downtimes = [
             dev.repartition(pid) for dev, pid in zip(self.devices, partition_ids)
         ]
@@ -243,4 +279,11 @@ class GpuCluster:
     def describe(self) -> str:
         """Human-readable one-liner, e.g. ``'10xA100-40GB [#1, #1, ...]'``."""
         parts = ", ".join(str(partition_by_id(p)) for p in self.partition_ids)
-        return f"{self.n_gpus}x{self.spec.name} [{parts}]"
+        if self.pool is not None and not self.pool.is_uniform:
+            return f"{self.pool.describe()} [{parts}]"
+        name = (
+            self.pool.profiles[0].spec.name
+            if self.pool is not None
+            else self.spec.name
+        )
+        return f"{self.n_gpus}x{name} [{parts}]"

@@ -61,17 +61,39 @@ A100_40GB = GpuSpec(name="A100-40GB", peak_tflops=19.5, memory_gb=40.0)
 
 @dataclass
 class GpuDevice:
-    """A stateful GPU: identity, spec, and current MIG partition."""
+    """A stateful GPU: identity, spec, and current MIG partition.
+
+    ``max_partition_id`` bounds the MIG configurations this silicon can
+    realize (device generations differ: an L4 has no MIG and accepts only
+    the full-GPU partition #1).  ``None`` — the default — means every
+    A100-class partition is available, the pre-heterogeneity behaviour.
+    """
 
     gpu_id: int
     spec: GpuSpec = A100_40GB
     partition_id: int = FULL_GPU_PARTITION_ID
     awake: bool = True
+    max_partition_id: int | None = None
     reconfig_count: int = field(default=0, init=False)
     wake_count: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         partition_by_id(self.partition_id)  # validates the id
+        if self.max_partition_id is not None:
+            partition_by_id(self.max_partition_id)
+            self.check_supported(self.partition_id)
+
+    def check_supported(self, partition_id: int) -> None:
+        """Raise unless this device's silicon can realize ``partition_id``."""
+        if (
+            self.max_partition_id is not None
+            and partition_id > self.max_partition_id
+        ):
+            raise ValueError(
+                f"GPU {self.gpu_id} ({self.spec.name}) supports MIG "
+                f"partitions up to #{self.max_partition_id}, "
+                f"got #{partition_id}"
+            )
 
     @property
     def partition(self) -> MigPartition:
@@ -98,6 +120,7 @@ class GpuDevice:
         new_partition = partition_by_id(new_partition_id)
         if new_partition_id == self.partition_id:
             return 0.0
+        self.check_supported(new_partition_id)
         self.partition_id = new_partition_id
         self.reconfig_count += 1
         return (

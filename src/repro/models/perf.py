@@ -65,14 +65,26 @@ class PerfModel:
     alpha:
         Share of a slice's dynamic power that scales with slice size rather
         than actual use (see module docstring), in [0, 1].
+    throughput_scale:
+        Device-generation speed multiplier relative to the A100 reference
+        calibration: every service latency is divided by it (an H100-class
+        profile sets ~1.9, an L4-class ~0.4).  The default of 1.0 is the
+        seed A100 model, bit for bit (x / 1.0 == x in IEEE arithmetic).
+        Device profiles build scaled models via
+        :meth:`repro.gpu.profiles.DeviceProfile.perf`.
     """
 
     power: PowerModel = field(default_factory=PowerModel)
     alpha: float = 0.3
+    throughput_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.throughput_scale <= 0.0:
+            raise ValueError(
+                f"throughput scale must be positive, got {self.throughput_scale}"
+            )
 
     # ------------------------------------------------------------------ #
     # latency
@@ -89,15 +101,21 @@ class PerfModel:
         return (
             variant.fixed_latency_ms
             + variant.compute_latency_ms * variant.saturation / effective
-        )
+        ) / self.throughput_scale
 
     def latency_s(self, variant: ModelVariant, slice_type: SliceType) -> float:
         """Mean service latency in seconds (convenience for the DES)."""
         return self.latency_ms(variant, slice_type) / 1e3
 
     def slowdown(self, variant: ModelVariant, slice_type: SliceType) -> float:
-        """Latency on ``slice_type`` relative to a full (7g) GPU."""
-        full = variant.fixed_latency_ms + variant.compute_latency_ms
+        """Latency on ``slice_type`` relative to a full (7g) GPU.
+
+        Device-generation speed cancels out of the ratio: the slowdown is
+        a property of the slice, identical on every profile.
+        """
+        full = (
+            variant.fixed_latency_ms + variant.compute_latency_ms
+        ) / self.throughput_scale
         return self.latency_ms(variant, slice_type) / full
 
     # ------------------------------------------------------------------ #

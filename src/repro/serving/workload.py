@@ -229,12 +229,20 @@ def default_rate(
     perf: PerfModel,
     n_gpus: int,
     utilization: float = DEFAULT_BASE_UTILIZATION,
+    throughput_scale_sum: float | None = None,
 ) -> float:
     """Paper-style workload sizing: a fraction of BASE's service capacity.
 
     BASE hosts the family's largest variant on every unpartitioned (7g) GPU,
     so its aggregate capacity is ``n_gpus / tau(largest, 7g)``; the returned
     rate loads that capacity to ``utilization``.
+
+    ``throughput_scale_sum`` sizes a *heterogeneous* cluster: the pool's
+    capacity in A100-equivalents
+    (:attr:`repro.gpu.profiles.DevicePool.throughput_scale_sum`) replaces
+    the bare GPU count, so a 4-GPU L4 pool at scale 0.4 is sized like 1.6
+    reference GPUs.  ``None`` — the default — is the seed homogeneous
+    sizing, bit for bit.
     """
     if n_gpus <= 0:
         raise ValueError(f"n_gpus must be positive, got {n_gpus}")
@@ -243,4 +251,10 @@ def default_rate(
     full = slice_by_name("7g")
     assert full in SLICE_TYPES
     per_gpu_rate = perf.service_rate(family.largest, full)
+    if throughput_scale_sum is not None:
+        if throughput_scale_sum <= 0:
+            raise ValueError(
+                f"throughput scale sum must be positive, got {throughput_scale_sum}"
+            )
+        return utilization * throughput_scale_sum * per_gpu_rate
     return utilization * n_gpus * per_gpu_rate

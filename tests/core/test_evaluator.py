@@ -293,3 +293,95 @@ class TestAwakeGpus:
         evaluator.set_awake_gpus(2)
         ev = evaluator.evaluate(cfg, rate_per_s=0.1 * evaluator.rate_per_s)
         assert ev.num_instances == 2  # the two coarse 7g GPUs stayed awake
+
+
+class TestDevicePoolIsolation:
+    """Cache-key isolation across device profiles (PR-4 satellite).
+
+    The same configuration graph at the same rate on different silicon is
+    a different measurement; the pool component of the cache key is what
+    lets a future shared cross-region cache merge evaluator caches
+    without ever conflating devices.
+    """
+
+    def make(self, zoo, perf, devices):
+        from repro.gpu.profiles import DevicePool
+
+        fam = zoo.family("efficientnet")
+        rate = default_rate(fam, perf, 2)
+        return ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=2,
+            method="analytic",
+            device_pool=None if devices is None else DevicePool.uniform(devices, 2),
+        )
+
+    def test_a100_pool_normalizes_to_seed_keys(self, zoo, perf):
+        implicit = self.make(zoo, perf, None)
+        explicit = self.make(zoo, perf, "a100")
+        assert explicit.device_pool is None
+        assert explicit.pool_key is None
+        fam = zoo.family("efficientnet")
+        a = implicit.evaluate(base_config(fam, 2))
+        b = explicit.evaluate(base_config(fam, 2))
+        assert a == b
+        assert set(implicit._cache) == set(explicit._cache)
+
+    def test_identical_graph_and_rate_never_share_entries_across_pools(
+        self, zoo, perf
+    ):
+        """The satellite's acceptance: A100 vs L4 cache keys are disjoint
+        for the identical (graph, rate) query."""
+        fam = zoo.family("efficientnet")
+        config = base_config(fam, 2)
+        rate = default_rate(fam, perf, 2)
+        a100 = self.make(zoo, perf, None)
+        l4 = self.make(zoo, perf, "l4")
+        h100 = self.make(zoo, perf, "h100")
+        ev_a, ev_l, ev_h = (
+            e.evaluate(config, rate_per_s=rate) for e in (a100, l4, h100)
+        )
+        keys = [set(e._cache) for e in (a100, l4, h100)]
+        assert keys[0].isdisjoint(keys[1])
+        assert keys[0].isdisjoint(keys[2])
+        assert keys[1].isdisjoint(keys[2])
+        # And the measurements genuinely differ: the L4 is slower and
+        # leaner, the H100 faster.
+        assert ev_l.p95_ms > ev_a.p95_ms > ev_h.p95_ms
+        assert ev_l.energy_per_request_j != ev_a.energy_per_request_j
+
+    def test_pool_key_present_in_cached_keys(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        l4 = self.make(zoo, perf, "l4")
+        l4.evaluate(base_config(fam, 2))
+        (key,) = l4._cache
+        assert key[-1] == ("l4", "l4")
+
+    def test_mixed_pool_prices_positions(self, zoo, perf):
+        """A mixed pool evaluates the canonical realization on canonical
+        device order: results differ from both uniform pools."""
+        from repro.gpu.profiles import DevicePool
+
+        fam = zoo.family("efficientnet")
+        rate = default_rate(fam, perf, 2)
+        mixed = ConfigEvaluator(
+            zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=2,
+            method="analytic", device_pool=DevicePool.of(("a100", "l4")),
+        )
+        config = base_config(fam, 2)
+        ev = mixed.evaluate(config)
+        ev_a = self.make(zoo, perf, None).evaluate(config, rate_per_s=rate)
+        ev_l = self.make(zoo, perf, "l4").evaluate(config, rate_per_s=rate)
+        assert ev.power_watts != ev_a.power_watts
+        assert ev.power_watts != ev_l.power_watts
+        # Static draw is the sum of both devices' own floors.
+        assert ev_a.num_instances == ev.num_instances == 2
+
+    def test_pool_size_mismatch_rejected(self, zoo, perf):
+        from repro.gpu.profiles import DevicePool
+
+        fam = zoo.family("efficientnet")
+        with pytest.raises(ValueError, match="pool has 2"):
+            ConfigEvaluator(
+                zoo=zoo, perf=perf, family=fam.name, rate_per_s=10.0, n_gpus=3,
+                method="analytic", device_pool=DevicePool.uniform("l4", 2),
+            )

@@ -1,0 +1,120 @@
+"""Intra-repo markdown links must not rot (PR-4 docs satellite).
+
+Checks every relative link and anchor in the repo's top-level markdown
+documentation (ARCHITECTURE.md, README.md, ROADMAP.md, ...) against the
+working tree.  External URLs are not fetched — CI must not depend on the
+network — but every path-shaped target must exist, and every in-page
+``#anchor`` must match a heading of the target document (GitHub slug
+rules: lowercase, punctuation stripped, spaces to dashes).
+
+The CI ``docs`` job runs exactly this module; it also runs in the tier-1
+suite so a broken link fails fast locally.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The documents under link control.  Everything a reader is routed
+#: through must stay internally consistent.
+DOCUMENTS = (
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    heading = re.sub(r"[`*_~]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    text = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(h) for h in _HEADING_RE.findall(text)}
+
+
+def iter_links(path: Path):
+    text = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(text):
+        yield match.group(1)
+
+
+def existing_documents():
+    return [d for d in DOCUMENTS if (REPO_ROOT / d).exists()]
+
+
+@pytest.mark.parametrize("doc", existing_documents())
+def test_intra_repo_links_resolve(doc):
+    doc_path = REPO_ROOT / doc
+    broken: list[str] = []
+    for target in iter_links(doc_path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (doc_path.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{target} (missing file)")
+                continue
+            anchor_doc = resolved
+        else:
+            anchor_doc = doc_path
+        if anchor and anchor_doc.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(anchor_doc):
+                broken.append(f"{target} (missing anchor)")
+    assert not broken, f"{doc} has broken intra-repo links: {broken}"
+
+
+def test_architecture_doc_exists():
+    """The docs satellite's anchor: the architecture doc must ship."""
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").exists()
+
+
+def test_architecture_covers_every_module_directory():
+    """Acceptance: every package under src/repro appears in the layer map."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    packages = sorted(
+        p.name
+        for p in (REPO_ROOT / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    )
+    missing = [name for name in packages if f"repro.{name}" not in text]
+    assert not missing, (
+        f"docs/ARCHITECTURE.md layer map is missing packages: {missing}"
+    )
+
+
+def test_architecture_indexes_every_experiment_and_subcommand():
+    """The experiment/CLI index must track the registries, not drift."""
+    from repro.analysis.experiments import EXPERIMENT_REGISTRY
+    from repro.cli import build_parser
+
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    missing = [
+        f"`{name}`" for name in EXPERIMENT_REGISTRY if f"`{name}`" not in text
+    ]
+    assert not missing, f"ARCHITECTURE.md experiment index missing: {missing}"
+
+    parser = build_parser()
+    subcommands = []
+    for action in parser._actions:
+        if hasattr(action, "choices") and action.choices:
+            subcommands = list(action.choices)
+            break
+    missing_cmds = [c for c in subcommands if f"`{c}`" not in text]
+    assert not missing_cmds, (
+        f"ARCHITECTURE.md CLI index missing subcommands: {missing_cmds}"
+    )

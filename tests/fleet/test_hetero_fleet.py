@@ -1,0 +1,298 @@
+"""Heterogeneous fleets: bit-for-bit homogeneous anchor, routing, gating.
+
+The acceptance bar of the heterogeneity PR: a fleet whose every region
+explicitly declares A100 devices must be *bit-for-bit* identical to the
+pre-heterogeneity fleet path (``devices=None``), while mixed fleets route
+on effective gCO2/request and gate their least-efficient silicon first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, FleetSpec
+from repro.fleet import (
+    CapacityManager,
+    FleetCoordinator,
+    GatingPolicy,
+    make_gating_policy,
+    region_by_name,
+)
+from repro.fleet.regional import RegionalService
+from repro.fleet.routing import CarbonGreedyRouter, RoutingContext, make_router
+
+GPUS = 2
+
+
+def small_fleet(devices, router="carbon-greedy", seed=0, **kwargs):
+    regions = tuple(
+        region_by_name(name, n_gpus=GPUS, devices=dev)
+        for name, dev in (("us-ciso", devices[0]), ("uk-eso", devices[1]))
+    )
+    return FleetCoordinator.create(
+        regions, router=router, fidelity="smoke", seed=seed, **kwargs
+    )
+
+
+class TestHomogeneousBitForBit:
+    @pytest.mark.parametrize("router", ["static", "carbon-greedy"])
+    def test_explicit_a100_fleet_equals_pre_heterogeneity_path(self, router):
+        """The acceptance criterion: all regions A100 == the pre-PR fleet,
+        epoch by epoch, bit for bit."""
+        implicit = small_fleet((None, None), router=router).run(duration_h=6.0)
+        explicit = small_fleet(("a100", "a100"), router=router).run(
+            duration_h=6.0
+        )
+        assert implicit.total_carbon_g == explicit.total_carbon_g
+        assert implicit.total_energy_j == explicit.total_energy_j
+        assert implicit.total_requests == explicit.total_requests
+        assert implicit.sla_attainment == explicit.sla_attainment
+        for a, b in zip(implicit.results, explicit.results):
+            assert len(a.epochs) == len(b.epochs)
+            for ea, eb in zip(a.epochs, b.epochs):
+                assert ea.carbon_g == eb.carbon_g
+                assert ea.p95_ms == eb.p95_ms
+                assert ea.requests == eb.requests
+
+    def test_explicit_tuple_form_is_also_anchored(self):
+        implicit = small_fleet((None, None)).run(duration_h=3.0)
+        explicit = small_fleet((("a100",) * GPUS, ("a100",) * GPUS)).run(
+            duration_h=3.0
+        )
+        assert implicit.total_carbon_g == explicit.total_carbon_g
+
+    def test_homogeneous_context_carries_no_energy_signal(self):
+        fleet = small_fleet((None, None))
+        ctx = fleet._context(0.0, fleet.global_rate_per_s, None)
+        assert ctx.energy_per_request_j is None
+
+    def test_heterogeneous_context_carries_energy_signal(self):
+        fleet = small_fleet(("a100", "l4"))
+        ctx = fleet._context(0.0, fleet.global_rate_per_s, None)
+        assert ctx.energy_per_request_j is not None
+        assert ctx.energy_per_request_j.shape == (2,)
+        assert np.all(ctx.energy_per_request_j > 0)
+
+
+class TestEfficiencyAwareRouting:
+    def ctx(self, ci, energy):
+        n = len(ci)
+        return RoutingContext(
+            t_h=0.0,
+            global_rate_per_s=30.0,
+            ci=np.asarray(ci, dtype=np.float64),
+            pue=np.ones(n),
+            net_latency_ms=np.zeros(n),
+            nominal_rates=np.full(n, 10.0),
+            capacity_rates=np.full(n, 15.0),
+            sla_cap_rates=np.full(n, 15.0),
+            floor_rates=np.full(n, 0.5),
+            energy_per_request_j=(
+                None if energy is None else np.asarray(energy, dtype=np.float64)
+            ),
+        )
+
+    def test_flat_energy_returns_identical_scores_object(self):
+        """Not merely the same ordering — the identical array, which is
+        what keeps homogeneous fleets bit-for-bit."""
+        ctx = self.ctx([100.0, 200.0], [5.0, 5.0])
+        scores = ctx.effective_ci
+        assert ctx.efficiency_scores(scores) is scores
+        ctx_none = self.ctx([100.0, 200.0], None)
+        assert ctx_none.efficiency_scores(scores) is scores
+
+    def test_efficiency_ranking_flips_on_hungry_clean_region(self):
+        """A clean grid on hungry silicon loses to a dirtier grid on lean
+        silicon once the energy term is priced in."""
+        ctx = self.ctx([100.0, 140.0], [12.0, 5.0])
+        intensity_only = CarbonGreedyRouter(efficiency_weighted=False)
+        efficiency = CarbonGreedyRouter(efficiency_weighted=True)
+        assert list(intensity_only.region_order(ctx)) == [0, 1]
+        assert list(efficiency.region_order(ctx)) == [1, 0]
+
+    def test_make_router_passes_efficiency_flag(self):
+        assert make_router("carbon-greedy").efficiency_weighted
+        r = make_router("forecast-aware", efficiency_weighted=False)
+        assert not r.efficiency_weighted
+
+    def test_mixed_fleet_efficiency_beats_intensity_under_gating(self):
+        """The tentpole's routing claim at test scale: strictly lower
+        carbon at equal-or-better SLA on a mixed A100/L4 fleet."""
+        policy = make_gating_policy("reactive", wake_energy_j=1000.0)
+        kwargs = dict(
+            gating=policy,
+            demand="diurnal",
+            ramp_share_per_h=0.10,
+            drain_share_per_h=0.20,
+        )
+        eff = small_fleet(
+            ("a100", "l4"),
+            router=make_router("carbon-greedy", efficiency_weighted=True),
+            **kwargs,
+        ).run(duration_h=24.0)
+        intensity = small_fleet(
+            ("a100", "l4"),
+            router=make_router("carbon-greedy", efficiency_weighted=False),
+            **kwargs,
+        ).run(duration_h=24.0)
+        assert eff.total_carbon_g < intensity.total_carbon_g
+        assert eff.user_sla_attainment >= intensity.user_sla_attainment - 1e-12
+
+
+class TestHeterogeneousRegionalService:
+    @pytest.fixture(scope="class")
+    def mixed_service(self):
+        region = region_by_name("us-ciso", n_gpus=2, devices=("a100", "l4"))
+        return RegionalService.create(region, fidelity="smoke", seed=0)
+
+    def test_pool_is_canonical_best_first(self, mixed_service):
+        assert mixed_service.device_pool.names == ("l4", "a100")
+
+    def test_capacity_reflects_device_speeds(self, mixed_service):
+        rates = mixed_service.device_capacity_rates
+        # Canonical order (l4, a100): the L4 carries 0.4x the A100 rate.
+        assert rates[0] == pytest.approx(0.4 * rates[1])
+        assert sum(rates) == pytest.approx(mixed_service.capacity_rate_per_s)
+
+    def test_awake_capacity_is_a_canonical_prefix_sum(self, mixed_service):
+        full = mixed_service.capacity_rate_per_s
+        mixed_service.set_awake(1)
+        try:
+            # The awake prefix is the L4 alone: 0.4/1.4 of the pool.
+            assert mixed_service.awake_capacity_rate_per_s == pytest.approx(
+                full * 0.4 / 1.4
+            )
+        finally:
+            mixed_service.set_awake(None)
+
+    def test_sleeping_draw_prices_the_gated_tail(self, mixed_service):
+        # Gating to 1 awake sleeps the A100 (canonical tail): 6 W, not the
+        # L4's 3 W.
+        assert mixed_service.sleeping_draw_watts(1) == pytest.approx(6.0)
+        assert mixed_service.sleeping_draw_watts(2) == 0.0
+
+    def test_min_static_watts_is_the_leanest_device(self, mixed_service):
+        assert mixed_service.min_static_watts_per_gpu() == pytest.approx(18.0)
+
+    def test_marginal_energy_positive_and_finite(self, mixed_service):
+        # Pre-deployment: the closed-form BASE fallback (statics included).
+        e = mixed_service.marginal_energy_per_request_j()
+        assert 0.0 < e < 1e3
+
+    def test_marginal_energy_amortizes_static_once_deployed(self):
+        region = region_by_name("us-ciso", n_gpus=2, devices=("a100", "l4"))
+        svc = RegionalService.create(region, fidelity="smoke", seed=0)
+        result = svc.begin_run()
+        svc.step(result, 0, 0.0, svc.nominal_rate_per_s)
+        dynamic_only = svc.marginal_energy_per_request_j()
+        with_static = svc.marginal_energy_per_request_j(
+            static_amortize_utilization=0.75
+        )
+        assert 0.0 < dynamic_only < with_static
+
+    def test_l4_region_never_partitions(self):
+        """Granularity 1 pins an L4 region's deployments to full GPUs."""
+        region = region_by_name("us-ciso", n_gpus=2, devices="l4")
+        svc = RegionalService.create(
+            region, scheme="clover", fidelity="smoke", seed=0
+        )
+        result = svc.begin_run()
+        for i in range(4):
+            svc.step(result, i, float(i), svc.nominal_rate_per_s)
+        svc.finalize(result)
+        deployed = svc.controller.deployed
+        assert deployed is not None
+        assert all(a.partition_id == 1 for a in deployed.assignments)
+
+
+class TestHeterogeneousCapacityManager:
+    def test_prefix_sizing_sleeps_least_efficient_first(self):
+        mgr = CapacityManager(
+            n_gpus=3,
+            capacity_rate_per_s=50.0,
+            policy=GatingPolicy(),
+            per_gpu_rates=(10.0, 20.0, 20.0),
+        )
+        # 10 req/s fits the first (most efficient) device at 100% of its
+        # 10 req/s... but not at 75% target utilization.
+        assert mgr.gpus_for(7.0, 0.75) == 1
+        assert mgr.gpus_for(10.0, 0.75) == 2
+        assert mgr.gpus_for(23.0, 0.75) == 3
+        assert mgr.gpus_for(1e9, 0.75) == 3
+        assert mgr.awake_rate_per_s() == pytest.approx(50.0)
+
+    def test_per_gpu_rate_validation(self):
+        with pytest.raises(ValueError, match="per-GPU rates"):
+            CapacityManager(
+                n_gpus=2, capacity_rate_per_s=10.0, policy=GatingPolicy(),
+                per_gpu_rates=(5.0,),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            CapacityManager(
+                n_gpus=2, capacity_rate_per_s=10.0, policy=GatingPolicy(),
+                per_gpu_rates=(5.0, 0.0),
+            )
+
+    def test_default_wake_energy_rejected_for_l4_fleet(self):
+        """The gated-never-out-spends-always-on invariant is enforced
+        against the leanest device: an L4 region with the A100-default
+        2 kJ wake energy must be rejected loudly."""
+        with pytest.raises(ValueError, match="wake energy"):
+            small_fleet(("a100", "l4"), gating="reactive")
+
+
+class TestFleetSpecDevices:
+    def test_runner_threads_devices_and_efficiency_flag(self):
+        runner = ExperimentRunner()
+        spec = FleetSpec(
+            region_names=("us-ciso", "uk-eso"),
+            router="carbon-greedy",
+            fidelity="smoke",
+            n_gpus=2,
+            duration_h=3.0,
+            devices=("a100", "l4"),
+        )
+        result = runner.run_fleet(spec)
+        assert result.regions[0].devices is None or result.regions[0].devices
+        assert result.regions[1].device_pool().names == ("l4", "l4")
+        # The intensity-only ablation is a distinct memo entry.
+        ablation = runner.run_fleet(
+            spec.__class__(**{**spec.__dict__, "efficiency_weighted": False})
+        )
+        assert ablation is not runner.run_fleet(spec)
+
+    def test_mixed_pool_spec_string(self):
+        runner = ExperimentRunner()
+        spec = FleetSpec(
+            region_names=("us-ciso",),
+            router="static",
+            fidelity="smoke",
+            n_gpus=2,
+            duration_h=2.0,
+            devices=("a100:1,l4:1",),
+        )
+        result = runner.run_fleet(spec)
+        assert result.regions[0].device_pool().names == ("l4", "a100")
+
+    def test_intensity_only_static_rejected(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ValueError, match="intensity-only"):
+            runner.run_fleet(
+                FleetSpec(
+                    region_names=("us-ciso",),
+                    router="static",
+                    fidelity="smoke",
+                    n_gpus=2,
+                    efficiency_weighted=False,
+                )
+            )
+
+    def test_device_count_mismatch_rejected(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ValueError, match="device specs"):
+            runner.run_fleet(
+                FleetSpec(
+                    region_names=("us-ciso", "uk-eso"),
+                    fidelity="smoke",
+                    devices=("a100",),
+                )
+            )

@@ -75,3 +75,73 @@ class TestMakeRegion:
         a = make_region("hydro", NORDIC_HYDRO, seed=1)
         b = make_region("hydro", NORDIC_HYDRO, seed=2)
         assert (a.trace.values != b.trace.values).any()
+
+
+class TestGpuCountValidation:
+    """Regression tests: a region must never accept a non-positive pool.
+
+    Every construction path — the dataclass, the registry, the profile
+    factory, and the resize helper — validates ``n_gpus > 0``.
+    """
+
+    @pytest.mark.parametrize("bad", [0, -1, -10])
+    def test_direct_construction_rejects(self, bad):
+        with pytest.raises(ValueError, match="n_gpus must be positive"):
+            Region(name="x", trace=ciso_march_48h(), n_gpus=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_registry_rejects(self, bad):
+        with pytest.raises(ValueError, match="n_gpus must be positive"):
+            region_by_name("us-ciso", n_gpus=bad)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_make_region_rejects(self, bad):
+        with pytest.raises(ValueError, match="n_gpus must be positive"):
+            make_region("x", NORDIC_HYDRO, n_gpus=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_with_gpus_rejects(self, bad):
+        region = region_by_name("us-ciso", n_gpus=4)
+        with pytest.raises(ValueError, match="n_gpus must be positive"):
+            region.with_gpus(bad)
+
+
+class TestDeviceField:
+    def test_default_is_implicit_a100(self):
+        region = region_by_name("us-ciso", n_gpus=3)
+        assert region.devices is None
+        assert region.device_names == ("a100",) * 3
+        assert region.device_pool().is_default_a100
+
+    def test_uniform_and_mixed_forms(self):
+        uniform = region_by_name("us-ciso", n_gpus=2, devices="L4")
+        assert uniform.device_names == ("l4", "l4")
+        mixed = region_by_name("us-ciso", n_gpus=2, devices=("a100", "l4"))
+        assert mixed.device_pool().names == ("l4", "a100")
+
+    def test_unknown_device_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            region_by_name("us-ciso", n_gpus=2, devices="v100")
+
+    def test_device_count_mismatch_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="device entries"):
+            region_by_name("us-ciso", n_gpus=3, devices=("a100", "l4"))
+
+    def test_with_gpus_broadcasts_uniform_devices(self):
+        region = region_by_name("us-ciso", n_gpus=2, devices="l4")
+        grown = region.with_gpus(4)
+        assert grown.device_names == ("l4",) * 4
+        # An explicit uniform tuple degrades to a broadcastable name.
+        tup = region_by_name("us-ciso", n_gpus=2, devices=("l4", "l4"))
+        assert tup.with_gpus(3).device_names == ("l4",) * 3
+
+    def test_with_gpus_refuses_to_resize_a_mixed_tuple(self):
+        region = region_by_name("us-ciso", n_gpus=2, devices=("a100", "l4"))
+        with pytest.raises(ValueError, match="with_devices"):
+            region.with_gpus(4)
+
+    def test_with_devices_resizes_by_tuple(self):
+        region = region_by_name("us-ciso", n_gpus=2)
+        mixed = region.with_devices(("a100", "a100", "l4"))
+        assert mixed.n_gpus == 3
+        assert mixed.device_pool().describe() == "2xa100+1xl4"
