@@ -1,0 +1,162 @@
+"""The ScenarioSpec front door: mixed schemes and parallel sweeps.
+
+Two headlines for the scenario layer:
+
+* **Per-region schemes** (the ROADMAP "fleet-level scheme heterogeneity"
+  item): running the accuracy-indifferent CO2OPT optimizer in the clean
+  hydro region and CLOVER on the dirty grids lands between the two
+  uniform fleets on *both* axes — less carbon than uniform CLOVER, less
+  accuracy loss than uniform CO2OPT — a trade-off point neither uniform
+  fleet can reach, unlocked by one spec field per region.
+* **Parallel sweeps**: scenarios are independent simulations, so a
+  process-pool sweep of a 4-scenario grid completes faster than running
+  it serially — the right parallel grain for experiment campaigns (the
+  per-epoch thread driver inside one run is GIL-bound; whole scenarios
+  are not).
+"""
+
+import os
+import time
+
+from repro.analysis.runner import ExperimentRunner
+from repro.scenarios import (
+    RegionSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    expand,
+    run_sweep,
+)
+
+from benchmarks.conftest import FIDELITY, SEED, once, strict
+
+#: The mixed-scheme fleet: clean hydro first, two dirty grids after.
+MIXED_REGIONS = ("nordic-hydro", "us-ciso", "uk-eso")
+
+
+def _scheme_spec(schemes) -> ScenarioSpec:
+    return ScenarioSpec(
+        regions=tuple(
+            RegionSpec(name=name, scheme=scheme)
+            for name, scheme in zip(MIXED_REGIONS, schemes)
+        ),
+        fidelity=FIDELITY,
+        seed=SEED,
+        n_gpus=2,
+        duration_h=24.0,
+        routing=RoutingSpec(router="carbon-greedy"),
+    )
+
+
+def test_mixed_scheme_scenario(benchmark, runner: ExperimentRunner):
+    """Headline: per-region CO2OPT/CLOVER beats both uniform fleets'
+    trade-off frontiers from one declarative spec."""
+
+    def compare():
+        return {
+            "clover": runner.run_scenario(_scheme_spec(("clover",) * 3)),
+            "mixed": runner.run_scenario(
+                _scheme_spec(("co2opt", "clover", "clover"))
+            ),
+            "co2opt": runner.run_scenario(_scheme_spec(("co2opt",) * 3)),
+        }
+
+    results = once(benchmark, compare)
+    print()
+    for label, r in results.items():
+        print(
+            f"  {label:7s} carbon={r.total_carbon_g:8,.0f} g  "
+            f"accLoss={r.accuracy_loss_pct:5.2f}%  "
+            f"SLA={100 * r.sla_attainment:5.1f}%  "
+            f"schemes={r.scheme_name}"
+        )
+
+    mixed, clover, co2 = results["mixed"], results["clover"], results["co2opt"]
+    # The mixed fleet really ran mixed (and end to end).
+    assert mixed.scheme_name == "co2opt+clover"
+    assert mixed.scheme_by_region["nordic-hydro"] == "co2opt"
+    assert mixed.total_requests > 0 and mixed.total_carbon_g > 0
+
+    if strict():
+        # The trade-off sandwich, on both axes: carbon-wise the mixed
+        # fleet sits at or below uniform CLOVER (the hydro region stopped
+        # paying accuracy-guard joules), accuracy-wise at or below
+        # uniform CO2OPT's loss (only the near-free region gave up
+        # accuracy).
+        assert mixed.total_carbon_g <= clover.total_carbon_g
+        assert co2.total_carbon_g <= mixed.total_carbon_g
+        assert mixed.accuracy_loss_pct >= clover.accuracy_loss_pct
+        assert mixed.accuracy_loss_pct <= co2.accuracy_loss_pct
+        # ... at no SLA cost relative to uniform CLOVER.
+        assert mixed.sla_attainment >= clover.sla_attainment - 0.02
+
+
+def _sweep_grid() -> list[ScenarioSpec]:
+    from repro.scenarios import DemandSpec, GatingSpec
+
+    base = ScenarioSpec(
+        regions=tuple(
+            RegionSpec(name=n)
+            for n in ("us-ciso", "uk-eso", "apac-solar")
+        ),
+        scheme="clover",
+        fidelity=FIDELITY,
+        seed=SEED,
+        n_gpus=2,
+        duration_h=48.0,
+        routing=RoutingSpec(router="carbon-greedy"),
+        demand=DemandSpec(
+            kind="diurnal", ramp_share_per_h=0.1, drain_share_per_h=0.2
+        ),
+        gating=GatingSpec(mode="reactive"),
+    )
+    return expand(
+        base,
+        {"routing.router": ["static", "carbon-greedy"], "seed": [0, 1]},
+    )
+
+
+def test_parallel_sweep_beats_serial(benchmark):
+    """Acceptance: a >= 4-scenario sweep on 2 workers completes faster
+    than the serial drive at default fidelity (identical results)."""
+    grid = _sweep_grid()
+    assert len(grid) == 4
+
+    t0 = time.perf_counter()
+    serial = run_sweep(grid, workers=None)
+    serial_s = time.perf_counter() - t0
+
+    def parallel_run():
+        return run_sweep(grid, workers=2)
+
+    t0 = time.perf_counter()
+    parallel = once(benchmark, parallel_run)
+    parallel_s = time.perf_counter() - t0
+
+    print(
+        f"\n  serial {serial_s:6.1f}s vs parallel(2) {parallel_s:6.1f}s "
+        f"({serial_s / max(parallel_s, 1e-9):.2f}x) over {len(grid)} scenarios"
+    )
+    for spec, result in zip(grid, serial):
+        print(
+            f"  {spec.routing.router:14s} seed={spec.seed}  "
+            f"carbon={result.total_carbon_g:8,.0f} g"
+        )
+
+    # Parallel execution is a pure orchestration change.
+    for s, p in zip(serial, parallel):
+        assert p.total_carbon_g == s.total_carbon_g
+        assert p.total_energy_j == s.total_energy_j
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        cores = os.cpu_count() or 1
+    if strict() and cores >= 2:
+        # The acceptance bar: at calibrated (default) fidelity the
+        # process pool wins wall-clock on >= 2 workers.  The timing claim
+        # needs >= 2 actual cores (a single-core box serializes the pool
+        # and only pays its overhead) and calibrated fidelity (at smoke,
+        # pool startup rivals the seconds-long scenarios).
+        assert parallel_s < serial_s
+    elif cores < 2:
+        print(f"  (timing assertion skipped: {cores} core(s) available)")

@@ -57,7 +57,9 @@ Packages: :mod:`repro.gpu` (MIG substrate), :mod:`repro.models` (Table-1
 model zoo), :mod:`repro.serving` (queueing + DES), :mod:`repro.carbon`
 (traces + accounting + forecasting), :mod:`repro.core` (the Clover
 system), :mod:`repro.fleet` (multi-region coordination and routing),
-:mod:`repro.demand` (geo-diurnal demand origins and latency matrix), and
+:mod:`repro.demand` (geo-diurnal demand origins and latency matrix),
+:mod:`repro.scenarios` (the declarative ScenarioSpec front door: specs,
+TOML/JSON round-trips, sweeps, the experiment registry), and
 :mod:`repro.analysis` (paper-figure experiment harness).
 """
 
@@ -81,8 +83,14 @@ from repro.gpu.profiles import DevicePool, DeviceProfile, profile_by_name
 from repro.models.zoo import default_zoo
 from repro.models.perf import PerfModel
 from repro.carbon.traces import evaluation_traces, trace_by_name
+from repro.scenarios import (
+    RegionSpec,
+    Scenario,
+    ScenarioSpec,
+    run_sweep,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CarbonAwareInferenceService",
@@ -105,5 +113,9 @@ __all__ = [
     "PerfModel",
     "evaluation_traces",
     "trace_by_name",
+    "ScenarioSpec",
+    "RegionSpec",
+    "Scenario",
+    "run_sweep",
     "__version__",
 ]

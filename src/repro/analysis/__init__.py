@@ -6,7 +6,13 @@
 * :mod:`repro.analysis.ablations` — design-choice ablations beyond the paper.
 """
 
-from repro.analysis.runner import RunSpec, ExperimentRunner, APPLICATIONS_UNDER_TEST
+from repro.analysis.runner import (
+    APPLICATIONS_UNDER_TEST,
+    ExperimentRunner,
+    FleetSpec,
+    RunSpec,
+    scenario_from_fleet_spec,
+)
 from repro.analysis.reporting import format_table, format_series, render
 from repro.analysis.export import (
     table_to_csv,
@@ -42,6 +48,8 @@ from repro.analysis.experiments import (
 
 __all__ = [
     "RunSpec",
+    "FleetSpec",
+    "scenario_from_fleet_spec",
     "ExperimentRunner",
     "APPLICATIONS_UNDER_TEST",
     "format_table",

@@ -1,10 +1,17 @@
 """Experiment runner: execute scheme x application x trace combinations.
 
 One thin layer over :class:`~repro.core.service.CarbonAwareInferenceService`
-(and, for geographic experiments, the :mod:`repro.fleet` coordinator) that
+(and, for geographic experiments, the :mod:`repro.scenarios` layer) that
 (a) applies the paper's evaluation methodology uniformly and (b) memoizes
 completed runs within the process, because several figures reuse the same
 underlying runs (Figs. 9-13 all read the CISO-March matrix).
+
+Fleet experiments are described by
+:class:`~repro.scenarios.spec.ScenarioSpec` and executed through
+:meth:`ExperimentRunner.run_scenario`.  The historical :class:`FleetSpec`
+remains as a thin shim: :func:`scenario_from_fleet_spec` maps it onto the
+spec the scenario layer runs (tested field-for-field), so pre-scenario
+callers keep working bit for bit.
 """
 
 from __future__ import annotations
@@ -20,8 +27,22 @@ from repro.core.service import (
     PAPER_LAMBDA,
     PAPER_N_GPUS,
 )
+from repro.scenarios import (
+    DemandSpec,
+    GatingSpec,
+    RegionSpec,
+    RoutingSpec,
+    Scenario,
+    ScenarioSpec,
+)
 
-__all__ = ["RunSpec", "FleetSpec", "ExperimentRunner", "APPLICATIONS_UNDER_TEST"]
+__all__ = [
+    "RunSpec",
+    "FleetSpec",
+    "ExperimentRunner",
+    "APPLICATIONS_UNDER_TEST",
+    "scenario_from_fleet_spec",
+]
 
 #: The paper's three evaluation applications, in Table-1 order.
 APPLICATIONS_UNDER_TEST = ("detection", "language", "classification")
@@ -45,7 +66,14 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class FleetSpec:
-    """Everything that identifies one multi-region fleet run.
+    """Legacy flat description of one multi-region fleet run (shim).
+
+    Superseded by :class:`~repro.scenarios.spec.ScenarioSpec` — the
+    declarative, serializable spec every experiment now runs through.
+    ``FleetSpec`` is kept so pre-scenario callers (and the ``repro
+    fleet`` CLI semantics) keep working: :func:`scenario_from_fleet_spec`
+    converts it, and :meth:`ExperimentRunner.run_fleet` delegates to the
+    scenario path, bit for bit.
 
     ``net_latency_ms`` overrides every region's registry network latency;
     the paper-faithful experiments (Fig. 16) pin it to 0.0 because the
@@ -95,12 +123,77 @@ class FleetSpec:
     efficiency_weighted: bool = True
 
 
+def scenario_from_fleet_spec(spec: FleetSpec) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` a legacy :class:`FleetSpec` describes.
+
+    Field-for-field: region names become :class:`RegionSpec` entries
+    (device strings parsed exactly as the legacy path parsed them), the
+    flat routing/demand/gating knobs land in their sub-specs.  Running
+    the converted spec reproduces the legacy ``run_fleet`` execution bit
+    for bit (golden-tested), which is what lets every legacy experiment
+    and CLI flag become a thin shim over the scenario layer.
+    """
+    from repro.gpu.profiles import parse_region_devices
+
+    if spec.devices is None or isinstance(spec.devices, str):
+        device_specs: tuple[str | None, ...] = (spec.devices,) * len(
+            spec.region_names
+        )
+    else:
+        if len(spec.devices) != len(spec.region_names):
+            raise ValueError(
+                f"{len(spec.devices)} device specs for "
+                f"{len(spec.region_names)} regions"
+            )
+        device_specs = spec.devices
+    regions = tuple(
+        RegionSpec(
+            name=name,
+            devices=None if dev is None else parse_region_devices(dev),
+        )
+        for name, dev in zip(spec.region_names, device_specs)
+    )
+    return ScenarioSpec(
+        regions=regions,
+        application=spec.application,
+        scheme=spec.scheme,
+        fidelity=spec.fidelity,
+        seed=spec.seed,
+        n_gpus=spec.n_gpus,
+        lambda_weight=spec.lambda_weight,
+        duration_h=spec.duration_h,
+        net_latency_ms=spec.net_latency_ms,
+        routing=RoutingSpec(
+            router=spec.router,
+            lookahead_h=spec.lookahead_h,
+            forecaster=spec.forecaster,
+            efficiency_weighted=spec.efficiency_weighted,
+        ),
+        demand=DemandSpec(
+            # The scale only sizes a demand model; legacy specs carried
+            # the default even for constant-demand runs.
+            kind=spec.demand,
+            scale=spec.demand_scale if spec.demand is not None else 0.8,
+            ramp_share_per_h=spec.ramp_share_per_h,
+            drain_share_per_h=spec.drain_share_per_h,
+        ),
+        gating=GatingSpec(
+            mode=spec.gating,
+            # Legacy semantics: the wake-energy override only applied
+            # when gating was on.
+            wake_energy_j=(
+                spec.wake_energy_j if spec.gating is not None else None
+            ),
+        ),
+    )
+
+
 @dataclass
 class ExperimentRunner:
     """Runs and memoizes service executions for the experiment harness."""
 
     _cache: dict[RunSpec, RunResult] = field(default_factory=dict)
-    _fleet_cache: dict[FleetSpec, object] = field(default_factory=dict)
+    _scenario_cache: dict[ScenarioSpec, object] = field(default_factory=dict)
     _traces: dict[str, CarbonIntensityTrace] = field(default_factory=dict)
 
     def register_trace(self, name: str, trace: CarbonIntensityTrace) -> None:
@@ -133,76 +226,29 @@ class ExperimentRunner:
         self._cache[spec] = result
         return result
 
-    def run_fleet(self, spec: FleetSpec):
-        """Execute (or recall) the fleet run described by ``spec``.
+    def run_scenario(self, spec: ScenarioSpec):
+        """Execute (or recall) the scenario described by ``spec``.
 
-        Region names resolve through the fleet registry
-        (:func:`repro.fleet.region_by_name`); the import is local so the
-        single-cluster harness stays importable without the fleet package.
+        The memo is keyed by the spec itself — two equal specs share one
+        run, which is what lets experiments that compare overlapping
+        scenario grids (fig16's base rows, the gating ladder) pay for
+        each underlying simulation once.
         """
-        hit = self._fleet_cache.get(spec)
+        hit = self._scenario_cache.get(spec)
         if hit is not None:
             return hit
-        from dataclasses import replace
-
-        from repro.fleet import FleetCoordinator, make_gating_policy, region_by_name
-        from repro.fleet.routing import make_router
-        from repro.gpu.profiles import parse_region_devices
-
-        device_specs: tuple[str | None, ...]
-        if spec.devices is None or isinstance(spec.devices, str):
-            device_specs = (spec.devices,) * len(spec.region_names)
-        else:
-            if len(spec.devices) != len(spec.region_names):
-                raise ValueError(
-                    f"{len(spec.devices)} device specs for "
-                    f"{len(spec.region_names)} regions"
-                )
-            device_specs = spec.devices
-
-        regions = tuple(
-            region_by_name(
-                name,
-                n_gpus=spec.n_gpus,
-                devices=None if dev is None else parse_region_devices(dev),
-            )
-            for name, dev in zip(spec.region_names, device_specs)
-        )
-        if spec.net_latency_ms is not None:
-            regions = tuple(
-                replace(r, net_latency_ms=spec.net_latency_ms) for r in regions
-            )
-        gating = spec.gating
-        if gating is not None and spec.wake_energy_j is not None:
-            gating = make_gating_policy(gating, wake_energy_j=spec.wake_energy_j)
-        router = spec.router
-        if not spec.efficiency_weighted:
-            # The intensity-only ablation only exists for the rankings
-            # that are efficiency-weighted in the first place.
-            if spec.router not in ("carbon-greedy", "forecast-aware"):
-                raise ValueError(
-                    f"router {spec.router!r} has no intensity-only variant"
-                )
-            router = make_router(spec.router, efficiency_weighted=False)
-        fleet = FleetCoordinator.create(
-            regions,
-            application=spec.application,
-            scheme=spec.scheme,
-            router=router,
-            lambda_weight=spec.lambda_weight,
-            fidelity=FidelityProfile.by_name(spec.fidelity),
-            seed=spec.seed,
-            demand=spec.demand,
-            demand_scale=spec.demand_scale,
-            ramp_share_per_h=spec.ramp_share_per_h,
-            drain_share_per_h=spec.drain_share_per_h,
-            lookahead_h=spec.lookahead_h,
-            forecaster=spec.forecaster,
-            gating=gating,
-        )
-        result = fleet.run(duration_h=spec.duration_h)
-        self._fleet_cache[spec] = result
+        result = Scenario(spec).run()
+        self._scenario_cache[spec] = result
         return result
+
+    def run_fleet(self, spec: FleetSpec):
+        """Legacy shim: convert ``spec`` and run it through the scenario path.
+
+        Kept for pre-scenario callers; the conversion
+        (:func:`scenario_from_fleet_spec`) is golden-tested to reproduce
+        the historical execution bit for bit.
+        """
+        return self.run_scenario(scenario_from_fleet_spec(spec))
 
     def run_matrix(
         self,

@@ -5,7 +5,17 @@ Subcommands
 ``list``
     Show the available experiments (tables/figures of the paper).
 ``run``
-    Run one or more experiments and print their ASCII tables.
+    Run experiments **or scenario files** and print their ASCII tables.
+    An argument naming a registry experiment (``fig9``, ``fleet``, ...)
+    runs that experiment; an argument ending in ``.toml``/``.json`` is
+    loaded as a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+    (see ``examples/scenarios/``) and executed — ``--fidelity`` and
+    ``--seed`` override the file's values when given, so one checked-in
+    scenario serves smoke CI and full-fidelity studies alike.
+``sweep``
+    Grid-expand a scenario file over ``--axis`` fields (or its ``[sweep]``
+    section) and run the grid, optionally on a process pool
+    (``--workers``), printing one comparison row per scenario.
 ``export``
     Run experiments and write their tables to CSV/JSON files.
 ``report``
@@ -13,19 +23,10 @@ Subcommands
 ``demo``
     A short end-to-end Clover run with a summary report.
 ``fleet``
-    Route one global workload across multiple regions and print the
-    aggregated fleet report (per-region and global carbon/accuracy/SLA).
-    ``--demand diurnal`` switches the run to geo-diurnal per-origin
-    demand with session-drain inertia and per-(origin, region) SLA
-    charging; ``--lookahead-h`` tunes the forecast-aware router;
-    ``--gating reactive|forecast`` turns on elastic GPU capacity so idle
-    power follows traffic (``repro run gating`` prints the side-by-side
-    always-on vs reactive vs pre-wake comparison); ``--devices`` assigns
-    GPU generations per region (``us-ciso=a100,apac-solar=l4`` — mixed
-    pools via ``a100:1+l4:1``), making the carbon-greedy/forecast-aware
-    routers rank on effective gCO2/request, and ``--intensity-only``
-    ablates that back to the raw-intensity ranking (``repro run hetero``
-    prints the side-by-side comparison).
+    Legacy multi-region front door.  Every flag combination builds the
+    same :class:`ScenarioSpec` that ``repro run <file>`` would load
+    (tested field-for-field) and runs it through the scenario layer —
+    the flags keep working, the execution path is one.
 """
 
 from __future__ import annotations
@@ -38,7 +39,10 @@ from repro.analysis.experiments import EXPERIMENT_REGISTRY
 from repro.analysis.runner import ExperimentRunner
 from repro.analysis.reporting import render
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "fleet_args_to_spec"]
+
+#: Suffixes `run`/`sweep` treat as scenario files rather than experiments.
+SCENARIO_SUFFIXES = (".toml", ".json")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,20 +57,66 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run experiments and print their tables")
+    run = sub.add_parser(
+        "run", help="run experiments or scenario files and print tables"
+    )
     run.add_argument(
         "experiments",
         nargs="+",
-        metavar="EXPERIMENT",
-        help=f"one of: {', '.join(sorted(EXPERIMENT_REGISTRY))}, or 'all'",
+        metavar="EXPERIMENT|SCENARIO.toml",
+        help=(
+            f"one of: {', '.join(sorted(EXPERIMENT_REGISTRY))}, 'all', or "
+            "a path to a .toml/.json scenario file"
+        ),
     )
     run.add_argument(
         "--fidelity",
-        default="default",
+        default=None,
         choices=("smoke", "default", "paper"),
-        help="simulation fidelity (default: %(default)s)",
+        help=(
+            "simulation fidelity (default: 'default' for experiments; a "
+            "scenario file's own fidelity unless overridden here)"
+        ),
     )
-    run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "root RNG seed (default: 0 for experiments; a scenario "
+            "file's own seed unless overridden here)"
+        ),
+    )
+
+    swp = sub.add_parser(
+        "sweep", help="grid-expand a scenario file and run the grid"
+    )
+    swp.add_argument("scenario", metavar="SCENARIO.toml")
+    swp.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2",
+        help=(
+            "sweep axis: a dotted spec path and comma-separated values "
+            "(e.g. --axis routing.router=static,carbon-greedy --axis "
+            "seed=0,1); merges with (and wins over) the file's "
+            "[sweep.axes] section"
+        ),
+    )
+    swp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool width for parallel scenario execution "
+            "(default: the file's [sweep] workers, else serial)"
+        ),
+    )
+    swp.add_argument(
+        "--fidelity", default=None, choices=("smoke", "default", "paper")
+    )
+    swp.add_argument("--seed", type=int, default=None)
 
     export = sub.add_parser(
         "export", help="run experiments and write CSV/JSON tables"
@@ -199,10 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="wake_energy_j",
         help=(
-            "per-wake transition energy for --gating (J).  The default "
-            "(2000 J) is sized for A100s; fleets with leaner devices need "
-            "a tighter bound — e.g. 1000 J fits an L4, whose static draw "
-            "over the wake window caps the admissible wake energy"
+            "fleet-wide per-wake transition energy for --gating (J), "
+            "overriding the per-device profile defaults (a100 2000 J, "
+            "h100 2500 J, l4 800 J).  Must fit under every device's "
+            "static draw over the wake window"
         ),
     )
     return parser
@@ -214,25 +264,220 @@ def _cmd_list() -> int:
     return 0
 
 
+def _is_scenario_path(name: str) -> bool:
+    return name.lower().endswith(SCENARIO_SUFFIXES)
+
+
+def _print_fleet_result(report, title: str) -> None:
+    """The shared fleet report block (``run <scenario>`` and ``fleet``)."""
+    from repro.analysis.reporting import format_table
+
+    headers, rows = report.table()
+    print(format_table(headers, rows, title=title))
+    print()
+    if any(r.devices is not None for r in report.regions):
+        mixes = ", ".join(
+            f"{r.name}={r.device_pool().describe()}" for r in report.regions
+        )
+        print(f"  devices:         {mixes}")
+    if len(set(report.scheme_by_region.values())) > 1:
+        schemes = ", ".join(
+            f"{region}={scheme}"
+            for region, scheme in report.scheme_by_region.items()
+        )
+        print(f"  schemes:         {schemes}")
+    print(f"  duration:        {report.duration_h:.1f} h")
+    print(f"  global rate:     {report.global_rate_per_s:.1f} req/s")
+    print(f"  requests served: {report.total_requests:,.0f}")
+    print(f"  energy:          {report.total_energy_j / 3.6e6:.2f} kWh")
+    print(f"  carbon:          {report.total_carbon_g:,.0f} gCO2")
+    print(f"  accuracy loss:   {report.accuracy_loss_pct:.2f}%")
+    print(f"  SLA attainment:  {100 * report.sla_attainment:.1f}% (incl. network)")
+    cache = report.cache_stats
+    print(
+        f"  evaluator cache: {cache.hits:,} hits / {cache.misses:,} misses "
+        f"({100 * cache.hit_rate:.1f}% hit rate)"
+    )
+    if report.has_gating:
+        print(
+            f"  gating:          {report.gating_name} "
+            f"({100 * report.mean_awake_fraction:.1f}% of GPUs awake on average)"
+        )
+    if report.has_demand:
+        print(
+            f"  user SLA:        {100 * report.user_sla_attainment:.1f}% "
+            "(charged per origin-region pair)"
+        )
+        print(f"  mean net hop:    {report.mean_net_latency_ms:.1f} ms")
+        print()
+        headers, rows = report.origin_table()
+        print(format_table(headers, rows, title="-- demand origins --"))
+
+
+def _load_spec_for_cli(path: str, fidelity: str | None, seed: int | None):
+    """Load a scenario file and thread the CLI overrides into the spec.
+
+    One ``--seed`` flows into the spec itself (region ``i`` derives
+    ``seed + i`` from it), so repeated invocations of the same file with
+    the same flags are bit-for-bit reproducible end to end.
+    """
+    from repro.scenarios import load_scenario_file
+
+    spec, sweep_cfg = load_scenario_file(path)
+    if fidelity is not None:
+        spec = spec.with_fidelity(fidelity)
+    if seed is not None:
+        spec = spec.with_seed(seed)
+    return spec, sweep_cfg
+
+
+def _run_scenario_file(path: str, fidelity: str | None, seed: int | None) -> int:
+    from repro.scenarios import Scenario
+
+    try:
+        spec, _ = _load_spec_for_cli(path, fidelity, seed)
+        report = Scenario(spec).run()
+    except FileNotFoundError:
+        print(f"no such scenario file: {path}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(f"{path}: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    # Deliberately no wall-time in the title: two runs of one spec must
+    # print byte-identical reports (the reproducibility contract; specs
+    # opting into parallel_regions may see cache *diagnostics* attribute
+    # warm-up work differently — simulation numbers never move).
+    _print_fleet_result(
+        report,
+        title=(
+            f"== scenario: {spec.label} ({spec.fidelity}, seed {spec.seed}) =="
+        ),
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(args.experiments)
     if names == ["all"]:
         names = sorted(EXPERIMENT_REGISTRY)
-    unknown = [n for n in names if n not in EXPERIMENT_REGISTRY]
+    scenario_paths = [n for n in names if _is_scenario_path(n)]
+    experiment_names = [n for n in names if not _is_scenario_path(n)]
+    unknown = [n for n in experiment_names if n not in EXPERIMENT_REGISTRY]
     if unknown:
         print(
             f"unknown experiment(s): {', '.join(unknown)}; "
-            f"valid: {', '.join(sorted(EXPERIMENT_REGISTRY))}",
+            f"valid: {', '.join(sorted(EXPERIMENT_REGISTRY))}, "
+            "or a .toml/.json scenario file path",
             file=sys.stderr,
         )
         return 2
+    fidelity = args.fidelity or "default"
+    seed = args.seed if args.seed is not None else 0
     runner = ExperimentRunner()
-    for name in names:
+    for name in experiment_names:
         t0 = time.perf_counter()
-        result = EXPERIMENT_REGISTRY[name](runner, args.fidelity, args.seed)
+        result = EXPERIMENT_REGISTRY[name](runner, fidelity, seed)
         dt = time.perf_counter() - t0
-        print(render(result, title=f"== {name} ({args.fidelity}, {dt:.1f}s) =="))
+        print(render(result, title=f"== {name} ({fidelity}, {dt:.1f}s) =="))
         print()
+    for path in scenario_paths:
+        code = _run_scenario_file(path, args.fidelity, args.seed)
+        if code != 0:
+            return code
+        print()
+    return 0
+
+
+def _parse_axis_value(token: str):
+    """One sweep-axis value: int, float, bool or bare string."""
+    lowered = token.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token.strip()
+
+
+def _parse_axes(tokens: list[str]) -> dict[str, list]:
+    axes: dict[str, list] = {}
+    for token in tokens:
+        path, sep, values = token.partition("=")
+        if not sep or not path.strip() or not values.strip():
+            raise ValueError(
+                f"bad --axis {token!r} (want PATH=V1,V2,...)"
+            )
+        axes[path.strip()] = [
+            _parse_axis_value(v) for v in values.split(",") if v.strip()
+        ]
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.scenarios import expand, run_sweep
+
+    try:
+        spec, sweep_cfg = _load_spec_for_cli(
+            args.scenario, args.fidelity, args.seed
+        )
+        axes = dict(sweep_cfg.axes) if sweep_cfg is not None else {}
+        axes.update(_parse_axes(args.axis))
+        if not axes:
+            raise ValueError(
+                "nothing to sweep: give --axis PATH=V1,V2 or add a "
+                "[sweep.axes] section to the scenario file"
+            )
+        workers = args.workers
+        if workers is None and sweep_cfg is not None:
+            workers = sweep_cfg.workers
+        grid = expand(spec, axes)
+        t0 = time.perf_counter()
+        results = run_sweep(grid, workers=workers)
+        dt = time.perf_counter() - t0
+    except FileNotFoundError:
+        print(f"no such scenario file: {args.scenario}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(
+            f"{args.scenario}: {exc.args[0] if exc.args else exc}",
+            file=sys.stderr,
+        )
+        return 2
+    paths = list(axes)
+    headers = (*paths, "Carbon(g)", "Energy(kWh)", "AccLoss%", "SLA%")
+    rows = []
+    for swept, result in zip(grid, results):
+        cells = [str(swept.get(path)) for path in paths]
+        sla = (
+            result.user_sla_attainment
+            if result.has_demand
+            else result.sla_attainment
+        )
+        rows.append(
+            (
+                *cells,
+                f"{result.total_carbon_g:,.0f}",
+                f"{result.total_energy_j / 3.6e6:.2f}",
+                f"{result.accuracy_loss_pct:.2f}",
+                f"{100 * sla:.1f}",
+            )
+        )
+    mode = f"{workers} workers" if workers and workers > 1 else "serial"
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"== sweep: {len(grid)} scenarios over "
+                f"{', '.join(paths)} ({spec.fidelity}, {mode}, {dt:.1f}s) =="
+            ),
+        )
+    )
     return 0
 
 
@@ -273,7 +518,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _parse_fleet_devices(arg: str | None, region_names: list[str]):
-    """``--devices`` → per-region device assignment for region_by_name.
+    """``--devices`` → per-region device assignment for RegionSpec.
 
     Returns a dict region -> (str | tuple) device spec; regions absent
     from the mapping keep the implicit all-A100 fleet.  A bare spec (no
@@ -313,104 +558,75 @@ def _parse_fleet_devices(arg: str | None, region_names: list[str]):
     return out
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.analysis.reporting import format_table
-    from repro.fleet import FleetCoordinator, region_by_name
-    from repro.fleet.routing import make_router
+def fleet_args_to_spec(args: argparse.Namespace):
+    """The :class:`ScenarioSpec` a legacy ``fleet`` invocation describes.
+
+    This *is* the shim: every historical flag maps onto one spec field,
+    and the tests pin each mapping, so the legacy front door can never
+    drift from the declarative one.
+    """
+    from repro.scenarios import (
+        DemandSpec,
+        GatingSpec,
+        RegionSpec,
+        RoutingSpec,
+        ScenarioSpec,
+    )
 
     # The registry is case-insensitive; normalize once so --devices
     # region=spec tokens match however --regions was spelled.
     names = [n.strip().lower() for n in args.regions.split(",") if n.strip()]
     if not names:
-        print("no regions given", file=sys.stderr)
-        return 2
-    try:
-        devices = _parse_fleet_devices(args.devices, names)
-        regions = tuple(
-            region_by_name(n, n_gpus=args.n_gpus, devices=devices.get(n))
-            for n in names
-        )
-    except (KeyError, ValueError) as exc:
-        print(exc.args[0] if exc.args else exc, file=sys.stderr)
-        return 2
-    router = args.router
-    if args.intensity_only:
-        if router not in ("carbon-greedy", "forecast-aware"):
-            print(
-                f"--intensity-only applies to carbon-greedy/forecast-aware "
-                f"routers, not {router!r}",
-                file=sys.stderr,
-            )
-            return 2
-        router = make_router(router, efficiency_weighted=False)
-    gating = args.gating
-    if gating is not None and args.wake_energy_j is not None:
-        from repro.fleet import make_gating_policy
-
-        gating = make_gating_policy(gating, wake_energy_j=args.wake_energy_j)
-    try:
-        fleet = FleetCoordinator.create(
-            regions,
-            application=args.application,
-            scheme=args.scheme,
-            router=router,
-            fidelity=args.fidelity,
-            seed=args.seed,
-            demand=args.demand,
+        raise ValueError("no regions given")
+    devices = _parse_fleet_devices(args.devices, names)
+    return ScenarioSpec(
+        regions=tuple(
+            RegionSpec(name=n, devices=devices.get(n)) for n in names
+        ),
+        application=args.application,
+        scheme=args.scheme,
+        fidelity=args.fidelity,
+        seed=args.seed,
+        n_gpus=args.n_gpus,
+        duration_h=args.duration_h,
+        routing=RoutingSpec(
+            router=args.router,
+            lookahead_h=args.lookahead_h,
+            efficiency_weighted=not args.intensity_only,
+        ),
+        demand=DemandSpec(
+            kind=args.demand,
             ramp_share_per_h=args.ramp_share_per_h,
             drain_share_per_h=args.drain_share_per_h,
-            lookahead_h=args.lookahead_h,
-            gating=gating,
-        )
+        ),
+        gating=GatingSpec(
+            mode=args.gating,
+            wake_energy_j=(
+                args.wake_energy_j if args.gating is not None else None
+            ),
+        ),
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.scenarios import Scenario
+
+    try:
+        spec = fleet_args_to_spec(args)
         t0 = time.perf_counter()
-        report = fleet.run(duration_h=args.duration_h)
+        report = Scenario(spec).run()
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
     dt = time.perf_counter() - t0
-    headers, rows = report.table()
-    print(
-        format_table(
-            headers,
-            rows,
-            title=(
-                f"== fleet: {len(regions)} regions, router={report.router_name}, "
-                f"scheme={report.scheme_name} ({args.fidelity}, {dt:.1f}s) =="
-            ),
-        )
+    _print_fleet_result(
+        report,
+        title=(
+            f"== fleet: {len(report.regions)} regions, "
+            f"router={report.router_name}, "
+            f"scheme={report.scheme_name} ({args.fidelity}, {dt:.1f}s) =="
+        ),
     )
-    print()
-    if any(r.devices is not None for r in report.regions):
-        mixes = ", ".join(
-            f"{r.name}={r.device_pool().describe()}" for r in report.regions
-        )
-        print(f"  devices:         {mixes}")
-    print(f"  duration:        {report.duration_h:.1f} h")
-    print(f"  global rate:     {report.global_rate_per_s:.1f} req/s")
-    print(f"  requests served: {report.total_requests:,.0f}")
-    print(f"  energy:          {report.total_energy_j / 3.6e6:.2f} kWh")
-    print(f"  carbon:          {report.total_carbon_g:,.0f} gCO2")
-    print(f"  accuracy loss:   {report.accuracy_loss_pct:.2f}%")
-    print(f"  SLA attainment:  {100 * report.sla_attainment:.1f}% (incl. network)")
-    cache = report.cache_stats
-    print(
-        f"  evaluator cache: {cache.hits:,} hits / {cache.misses:,} misses "
-        f"({100 * cache.hit_rate:.1f}% hit rate)"
-    )
-    if report.has_gating:
-        print(
-            f"  gating:          {report.gating_name} "
-            f"({100 * report.mean_awake_fraction:.1f}% of GPUs awake on average)"
-        )
-    if report.has_demand:
-        print(
-            f"  user SLA:        {100 * report.user_sla_attainment:.1f}% "
-            "(charged per origin-region pair)"
-        )
-        print(f"  mean net hop:    {report.mean_net_latency_ms:.1f} ms")
-        print()
-        headers, rows = report.origin_table()
-        print(format_table(headers, rows, title="-- demand origins --"))
     return 0
 
 
@@ -445,6 +661,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "export":
         return _cmd_export(args)
     if args.command == "report":

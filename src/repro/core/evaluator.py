@@ -284,6 +284,30 @@ class ConfigEvaluator:
             family=canon.family, assignments=canon.assignments[:awake]
         )
 
+    def adopt_cache(self, cache: dict) -> None:
+        """Share ``cache`` (another evaluator's store) as this one's.
+
+        The fleet layer pools analytic evaluators of regions with an
+        identical family, cluster size and device pool behind one
+        dictionary: evaluations are pure functions of the full cache key
+        (graph, rate, awake, pool), so sharing changes no result — only
+        how often each region recomputes one.  Hit/miss counters stay
+        per-evaluator, so per-region cache stats remain meaningful.  DES
+        evaluators must never share (their samples are seed-dependent);
+        :func:`repro.fleet.coordinator.share_evaluator_caches` enforces
+        that, this method just swaps the store.
+        """
+        existing = self._cache
+        self._cache = cache
+        # Entries computed before adoption stay usable by the group.
+        for key, value in existing.items():
+            cache.setdefault(key, value)
+
+    @property
+    def cache_store(self) -> dict:
+        """The underlying cache dictionary (for cross-region pooling)."""
+        return self._cache
+
     @property
     def cache_size(self) -> int:
         return len(self._cache)

@@ -49,6 +49,7 @@ from repro.fleet.coordinator import (
     DEFAULT_FLOOR_SHARE,
     FleetCoordinator,
     FleetResult,
+    share_evaluator_caches,
 )
 from repro.fleet.regional import DEFAULT_MAX_UTILIZATION, RegionalService
 from repro.fleet.regions import (
@@ -87,6 +88,7 @@ __all__ = [
     "make_router",
     "FleetCoordinator",
     "FleetResult",
+    "share_evaluator_caches",
     "DEFAULT_FLOOR_SHARE",
     "DEFAULT_DEMAND_SCALE",
     "GatingPolicy",

@@ -71,11 +71,15 @@ class GatingPolicy:
         as a serving window at the pre-wake capacity.
     wake_energy_j:
         Transition energy per woken GPU, charged in the epoch the wake
-        completes.  The default prices the 60 s transition at roughly the
-        board's awake static floor (rails ramp, HBM scrub, weight paging
-        is PCIe-bound, the SMs stay idle) — so a wake never draws more
-        than the always-on draw it was gated from, and a gated epoch's
-        energy can never exceed its always-on twin's (property-tested).
+        completes.  ``None`` (the default) charges each woken device its
+        *own* profile's :attr:`~repro.gpu.profiles.DeviceProfile.wake_energy_j`
+        (an H100 re-pages more weights than an L4); a scalar overrides
+        every device with one fleet-wide figure.  Either way the energy
+        prices the 60 s transition at or below the board's awake static
+        floor (rails ramp, HBM scrub, weight paging is PCIe-bound, the
+        SMs stay idle) — so a wake never draws more than the always-on
+        draw it was gated from, and a gated epoch's energy can never
+        exceed its always-on twin's (property-tested).
     min_awake:
         Floor on the awake count — a region never gates its last GPUs
         below this (resident floor traffic must stay servable).
@@ -88,7 +92,7 @@ class GatingPolicy:
     sleep_margin: float = 1.25
     sleep_after_epochs: int = 2
     wake_latency_s: float = 60.0
-    wake_energy_j: float = 2_000.0
+    wake_energy_j: float | None = None
     min_awake: int = 1
     prewake: bool = False
 
@@ -106,7 +110,9 @@ class GatingPolicy:
             raise ValueError(
                 f"sleep hysteresis must be >= 1 epoch, got {self.sleep_after_epochs}"
             )
-        if self.wake_latency_s < 0 or self.wake_energy_j < 0:
+        if self.wake_latency_s < 0 or (
+            self.wake_energy_j is not None and self.wake_energy_j < 0
+        ):
             raise ValueError("wake costs must be non-negative")
         if self.min_awake < 1:
             raise ValueError(f"min awake must be >= 1, got {self.min_awake}")
@@ -127,6 +133,8 @@ def make_gating_policy(mode: str, **kwargs) -> GatingPolicy:
     False
     >>> make_gating_policy("forecast").sleep_after_epochs
     1
+    >>> make_gating_policy("reactive").wake_energy_j is None  # per-device
+    True
     >>> make_gating_policy("reactive", wake_energy_j=1000.0).wake_energy_j
     1000.0
     """

@@ -80,6 +80,7 @@ __all__ = [
     "FleetResult",
     "DEFAULT_FLOOR_SHARE",
     "DEFAULT_DEMAND_SCALE",
+    "share_evaluator_caches",
 ]
 
 #: Share of a region's nominal rate that can never be shifted away —
@@ -90,6 +91,47 @@ DEFAULT_FLOOR_SHARE = 0.05
 #: sizing: provisioning with headroom over *mean* demand so the diurnal
 #: peak (mean x (1 + swing)) stays within the fleet's capacity envelope.
 DEFAULT_DEMAND_SCALE = 0.8
+
+
+def share_evaluator_caches(services: list[RegionalService]) -> int:
+    """Pool analytic evaluator caches across same-hardware regions.
+
+    Regions with an identical model family, cluster size and device pool
+    evaluate the *same* pure function — analytic evaluations depend only
+    on the full cache key ``(graph, rate, awake, pool)`` — so one region's
+    warm-up can serve every twin's.  This merges each such group's
+    optimization-evaluator stores behind one shared dictionary (results
+    are unchanged, only recomputation is saved); hit/miss counters remain
+    per-evaluator, so per-region cache stats stay honest.
+
+    DES measurement evaluators are *never* pooled: their samples come from
+    per-region seeds, and sharing them would silently change
+    measurements.  Returns the number of groups actually merged.
+    """
+    groups: dict[tuple, list] = {}
+    for s in services:
+        ev = getattr(s.service.scheme, "evaluator", None)
+        if ev is None or ev.method != "analytic":
+            continue
+        # The zoo/perf identities guard the pure-function claim: two
+        # evaluators only compute the same function when they price the
+        # same model zoo on the same performance oracle (one coordinator
+        # shares those objects across its regions; callers mixing
+        # coordinators built on different testbeds must not merge).
+        key = (
+            id(ev.zoo), id(ev.perf),
+            ev.family, ev.n_gpus, ev.jitter_cv, ev.pool_key,
+        )
+        groups.setdefault(key, []).append(ev)
+    merged = 0
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        shared = group[0].cache_store
+        for ev in group[1:]:
+            ev.adopt_cache(shared)
+        merged += 1
+    return merged
 
 
 @dataclass
@@ -192,6 +234,14 @@ class FleetResult:
                     met += e.requests
         total = self.total_requests
         return met / total if total > 0 else 0.0
+
+    @property
+    def scheme_by_region(self) -> dict[str, str]:
+        """Each region's optimization scheme (they may differ per region)."""
+        return {
+            region.name: result.scheme_name
+            for region, result in zip(self.regions, self.results)
+        }
 
     @property
     def request_shares(self) -> dict[str, float]:
@@ -455,6 +505,17 @@ class FleetCoordinator:
         names = [s.region.name for s in services]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate region names: {names}")
+        # Schemes may differ per region (e.g. co2opt where the grid is
+        # clean, clover where it is dirty); the fleet label joins the
+        # distinct ones in fleet order, staying the plain scheme name for
+        # uniform fleets so their reports are unchanged.
+        scheme_names = [s.controller.scheme.name for s in services]
+        distinct_schemes = list(dict.fromkeys(scheme_names))
+        self.scheme_label = (
+            distinct_schemes[0]
+            if len(distinct_schemes) == 1
+            else "+".join(distinct_schemes)
+        )
         if (demand is None) != (latency_matrix is None):
             raise ValueError(
                 "demand model and latency matrix come together: both or neither"
@@ -543,19 +604,38 @@ class FleetCoordinator:
             # iff a wake transition draws no more than the awake static
             # floor it was gated from — enforce the bound against each
             # region's power model rather than let a custom policy
-            # silently break the invariant.
+            # silently break the invariant.  A scalar policy override is
+            # checked against every device it applies to (the leanest sets
+            # the ceiling); per-device profile defaults are each checked
+            # against their own board's static draw.
             for s in services:
-                ceiling = (
-                    s.min_static_watts_per_gpu() * gating.wake_latency_s
-                )
-                if gating.wake_energy_j > ceiling * (1.0 + 1e-9):
-                    raise ValueError(
-                        f"wake energy {gating.wake_energy_j:g} J exceeds the "
-                        f"static draw over the wake window "
-                        f"({ceiling:g} J for region {s.region.name!r}); a "
-                        "gated epoch would out-spend its always-on twin — "
-                        "raise wake_latency_s or lower wake_energy_j"
+                if gating.wake_energy_j is not None:
+                    ceiling = (
+                        s.min_static_watts_per_gpu() * gating.wake_latency_s
                     )
+                    if gating.wake_energy_j > ceiling * (1.0 + 1e-9):
+                        raise ValueError(
+                            f"wake energy {gating.wake_energy_j:g} J exceeds "
+                            f"the static draw over the wake window "
+                            f"({ceiling:g} J for region {s.region.name!r}); a "
+                            "gated epoch would out-spend its always-on twin — "
+                            "raise wake_latency_s or lower wake_energy_j"
+                        )
+                    continue
+                for name, energy, watts in zip(
+                    s.region.device_names,
+                    s.device_wake_energies_j(),
+                    s.device_static_watts(),
+                ):
+                    ceiling = watts * gating.wake_latency_s
+                    if energy > ceiling * (1.0 + 1e-9):
+                        raise ValueError(
+                            f"device {name!r} wake energy {energy:g} J "
+                            f"exceeds its static draw over the wake window "
+                            f"({ceiling:g} J, region {s.region.name!r}); a "
+                            "gated epoch would out-spend its always-on twin "
+                            "— raise wake_latency_s or override wake_energy_j"
+                        )
             self._managers = [
                 CapacityManager(
                     n_gpus=s.region.n_gpus,
@@ -571,7 +651,7 @@ class FleetCoordinator:
         cls,
         regions: tuple[Region, ...] | list[Region],
         application: str = "classification",
-        scheme: str = "clover",
+        scheme: str | tuple[str, ...] | list[str] = "clover",
         router: Router | str = "carbon-greedy",
         lambda_weight: float = PAPER_LAMBDA,
         fidelity: FidelityProfile | str = "default",
@@ -590,11 +670,20 @@ class FleetCoordinator:
         lookahead_h: float | None = None,
         forecaster: str = "diurnal",
         gating: GatingPolicy | str | None = None,
+        share_caches: bool = False,
     ) -> "FleetCoordinator":
         """Assemble one regional service per region plus the router.
 
         Region ``i`` gets root seed ``seed + i``, so region 0 of an N=1
         fleet reproduces the standalone service at the same seed exactly.
+
+        ``scheme`` is one name for a uniform fleet or a per-region tuple
+        aligned with ``regions`` (e.g. ``("co2opt", "clover")`` — run the
+        accuracy-indifferent optimizer where the grid is clean and the
+        balanced one where it is dirty).  ``share_caches=True`` pools the
+        analytic evaluator caches of regions with identical hardware
+        (:func:`share_evaluator_caches`) — results are unchanged, fleet
+        warm-up cost drops.
 
         ``demand`` may be a built :class:`~repro.demand.DemandModel`
         (which carries its own origins and mean rate — ``origins`` and
@@ -620,6 +709,14 @@ class FleetCoordinator:
             fidelity = FidelityProfile.by_name(fidelity)
         zoo = zoo or default_zoo()
         perf = perf or PerfModel()
+        if isinstance(scheme, str):
+            schemes: tuple[str, ...] = (scheme,) * len(regions)
+        else:
+            schemes = tuple(scheme)
+            if len(schemes) != len(regions):
+                raise ValueError(
+                    f"{len(schemes)} schemes for {len(regions)} regions"
+                )
         if isinstance(router, str):
             router = make_router(router)
         if lookahead_h is not None:
@@ -662,7 +759,7 @@ class FleetCoordinator:
             RegionalService.create(
                 region=region,
                 application=application,
-                scheme=scheme,
+                scheme=schemes[i],
                 lambda_weight=lambda_weight,
                 fidelity=fidelity,
                 seed=seed + i,
@@ -673,6 +770,8 @@ class FleetCoordinator:
             )
             for i, region in enumerate(regions)
         ]
+        if share_caches:
+            share_evaluator_caches(services)
 
         if demand is not None and demand_model is None:
             if not 0.0 < demand_scale <= 1.0:
@@ -844,10 +943,19 @@ class FleetCoordinator:
             # Sleeping devices are priced individually: heterogeneous
             # pools gate their canonical tail, and each gated device owes
             # its own sleep-state watts (homogeneous fleets reduce to the
-            # original sleep_watts x sleeping product, bit for bit).
+            # original sleep_watts x sleeping product, bit for bit).  Wake
+            # transitions charge each woken device its own profile's wake
+            # energy unless the policy overrides with a fleet-wide scalar;
+            # wakes always extend the awake canonical prefix, so the
+            # devices woken this epoch are the positions
+            # [awake - woken, awake).
             aux_energy = (
                 svc.sleeping_draw_watts(decision.awake) * self.step_s
-                + self.gating.wake_energy_j * decision.woken
+                + svc.wake_transition_energy_j(
+                    decision.awake - decision.woken,
+                    decision.awake,
+                    override_j=self.gating.wake_energy_j,
+                )
             )
             capacities.append(
                 EpochCapacity(
@@ -859,7 +967,11 @@ class FleetCoordinator:
             )
         return capacities
 
-    def run(self, duration_h: float | None = None) -> FleetResult:
+    def run(
+        self,
+        duration_h: float | None = None,
+        parallel_regions: int | None = None,
+    ) -> FleetResult:
         """Route and serve the global workload for ``duration_h`` hours.
 
         With gating enabled every epoch runs the gate→route→wake
@@ -868,6 +980,22 @@ class FleetCoordinator:
         against *physical* capacity, and each region then reconciles its
         routed rate with its awake GPUs — waking reactively (and paying
         the wake-latency window) or banking pre-wakes for the next epoch.
+
+        ``parallel_regions`` > 1 steps the regions of each epoch through
+        a thread pool of that many workers.  The per-region ``step()``
+        calls are independent given the routed rates (each region owns
+        its controller, RNG streams and DES evaluator; pooled analytic
+        caches hold pure functions, so a concurrent duplicate compute can
+        only insert the identical value), which makes the parallel
+        drive's *simulation results* — every rate, p95, energy and carbon
+        number — bit-for-bit identical to the serial one; only the
+        epoch's wall-clock changes.  The one non-physical exception:
+        with caches pooled across regions (``share_caches``), *which*
+        racing region gets counted the miss for a shared entry is
+        timing-dependent, so per-region hit/miss diagnostics may
+        attribute warm-up work differently between parallel runs.
+        ``None``/``1`` keeps the serial driver (fully deterministic,
+        counters included).
 
         Runs are deterministic given the construction seed.  A minimal
         single-region fleet at smoke fidelity (hourly epochs):
@@ -886,6 +1014,29 @@ class FleetCoordinator:
         """
         if duration_h is None:
             duration_h = min(s.region.trace.span_h for s in self.services)
+        if parallel_regions is not None and parallel_regions < 1:
+            raise ValueError(
+                f"parallel region workers must be >= 1, got {parallel_regions}"
+            )
+        executor = None
+        if (
+            parallel_regions is not None
+            and parallel_regions > 1
+            and len(self.services) > 1
+        ):
+            from concurrent.futures import ThreadPoolExecutor
+
+            executor = ThreadPoolExecutor(
+                max_workers=min(parallel_regions, len(self.services)),
+                thread_name_prefix="region-step",
+            )
+        try:
+            return self._run(duration_h, executor)
+        finally:
+            if executor is not None:
+                executor.shutdown()
+
+    def _run(self, duration_h: float, executor) -> FleetResult:
         n_epochs = self.services[0].controller.n_epochs(duration_h)
         # Routers and capacity managers carry cross-epoch state (pending
         # forecasts, regret statistics, awake counts, scheduled sleeps); a
@@ -965,10 +1116,22 @@ class FleetCoordinator:
                 if self._managers is not None
                 else [None] * len(self.services)
             )
-            for service, result, rate, cap in zip(
-                self.services, results, rates, capacities
-            ):
-                service.step(result, i, t_h, float(rate), capacity=cap)
+            if executor is None:
+                for service, result, rate, cap in zip(
+                    self.services, results, rates, capacities
+                ):
+                    service.step(result, i, t_h, float(rate), capacity=cap)
+            else:
+                futures = [
+                    executor.submit(
+                        service.step, result, i, t_h, float(rate), capacity=cap
+                    )
+                    for service, result, rate, cap in zip(
+                        self.services, results, rates, capacities
+                    )
+                ]
+                for future in futures:
+                    future.result()
         for service, result in zip(self.services, results):
             service.finalize(result)
         demand_fields = {}
@@ -982,7 +1145,7 @@ class FleetCoordinator:
             )
         return FleetResult(
             router_name=self.router.name,
-            scheme_name=self.services[0].controller.scheme.name,
+            scheme_name=self.scheme_label,
             application=self.services[0].controller.application,
             global_rate_per_s=self.global_rate_per_s,
             regions=tuple(s.region for s in self.services),

@@ -315,6 +315,46 @@ class RegionalService:
             energy += static_w / (static_amortize_utilization * device_rate)
         return energy
 
+    def device_static_watts(self) -> tuple[float, ...]:
+        """Per-device always-on static draw, pool-canonical order."""
+        if self.device_pool is None:
+            return (
+                self.power_model.static_watts_per_gpu(),
+            ) * self.region.n_gpus
+        return tuple(
+            p.power.static_watts_per_gpu() for p in self.device_pool.profiles
+        )
+
+    def device_wake_energies_j(self) -> tuple[float, ...]:
+        """Per-device wake transition energies, pool-canonical order.
+
+        The implicit all-A100 fleet carries the A100 profile's default on
+        every position — the pre-per-profile scalar, bit for bit.
+        """
+        if self.device_pool is None:
+            return (A100_PROFILE.wake_energy_j,) * self.region.n_gpus
+        return self.device_pool.wake_energies_j()
+
+    def wake_transition_energy_j(
+        self, first: int, last: int, override_j: float | None = None
+    ) -> float:
+        """Transition energy of waking canonical positions [first, last).
+
+        Wakes always extend the awake canonical prefix, so the devices
+        woken in one epoch are a contiguous position range.  With a
+        policy-level ``override_j`` every device costs that scalar (the
+        pre-per-profile behaviour); otherwise each position owes its own
+        profile's :attr:`~repro.gpu.profiles.DeviceProfile.wake_energy_j`.
+        """
+        if not 0 <= first <= last <= self.region.n_gpus:
+            raise ValueError(
+                f"wake range [{first}, {last}) outside the pool of "
+                f"{self.region.n_gpus}"
+            )
+        if override_j is not None:
+            return override_j * (last - first)
+        return float(sum(self.device_wake_energies_j()[first:last]))
+
     def min_static_watts_per_gpu(self) -> float:
         """The smallest always-on per-GPU draw across the region's pool.
 

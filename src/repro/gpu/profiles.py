@@ -95,6 +95,15 @@ class DeviceProfile:
         the device cannot partition at all (full-GPU deployments only);
         :data:`~repro.gpu.partitions.NUM_PARTITIONS` means every A100-class
         MIG configuration is available.
+    wake_energy_j:
+        Transition energy of gating this device back online (rail
+        un-gating, HBM scrub, re-paging model weights into every slice).
+        Bigger boards re-page more weights, so H100 > A100 > L4.  The
+        elastic-capacity layer charges this per woken device when the
+        :class:`~repro.fleet.capacity.GatingPolicy` does not override it
+        with a fleet-wide scalar; each default is sized below the device's
+        own static draw over the default 60 s wake window, so the
+        gated-never-out-spends-always-on invariant holds per device.
     """
 
     name: str
@@ -102,6 +111,7 @@ class DeviceProfile:
     power: PowerModel
     throughput_scale: float = 1.0
     partition_granularity: int = NUM_PARTITIONS
+    wake_energy_j: float = 2_000.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -114,6 +124,10 @@ class DeviceProfile:
             raise ValueError(
                 f"partition granularity must be in [1, {NUM_PARTITIONS}], "
                 f"got {self.partition_granularity}"
+            )
+        if self.wake_energy_j < 0:
+            raise ValueError(
+                f"wake energy must be non-negative, got {self.wake_energy_j}"
             )
 
     @property
@@ -191,6 +205,9 @@ A100_PROFILE = DeviceProfile(
     power=PowerModel(),
     throughput_scale=1.0,
     partition_granularity=NUM_PARTITIONS,
+    # The seed gating default: 2 kJ fits under the A100's 35 W static
+    # draw over the 60 s wake window (2.1 kJ ceiling).
+    wake_energy_j=2_000.0,
 )
 
 #: Hopper: ~1.9x the A100's service rate at a higher board power — faster
@@ -214,6 +231,9 @@ H100_PROFILE = DeviceProfile(
     ),
     throughput_scale=1.9,
     partition_granularity=NUM_PARTITIONS,
+    # 80 GB of HBM re-paged per wake: the heaviest transition in the
+    # registry, still under the 45 W x 60 s = 2.7 kJ static ceiling.
+    wake_energy_j=2_500.0,
 )
 
 #: Ada inference card: ~0.4x the A100's service rate at a fraction of the
@@ -237,6 +257,9 @@ L4_PROFILE = DeviceProfile(
     ),
     throughput_scale=0.4,
     partition_granularity=1,
+    # A small board with little memory to re-page; well under the L4's
+    # 18 W x 60 s = 1.08 kJ static ceiling.
+    wake_energy_j=800.0,
 )
 
 DEVICE_PROFILES: dict[str, DeviceProfile] = {
@@ -340,6 +363,10 @@ class DevicePool:
     def throughput_scales(self) -> tuple[float, ...]:
         """Per-device throughput scalars, canonical order."""
         return tuple(p.throughput_scale for p in self.profiles)
+
+    def wake_energies_j(self) -> tuple[float, ...]:
+        """Per-device wake transition energies, canonical order."""
+        return tuple(p.wake_energy_j for p in self.profiles)
 
     def counts(self) -> dict[str, int]:
         """Device-name multiset, e.g. ``{"a100": 2, "l4": 2}``."""

@@ -1,0 +1,89 @@
+"""The experiment registry: named entries behind ``repro run <name>``.
+
+Experiments used to live in one hand-maintained dict at the bottom of
+``analysis/experiments.py``; every new experiment meant editing the dict,
+the CLI help and the docs index in lockstep.  The :func:`experiment`
+decorator replaces that: a function registers itself (name, description,
+whether it consumes the shared runner), the CLI and docs render from the
+registry, and drift is impossible by construction.
+
+An experiment is a callable ``(runner, fidelity, seed) -> result`` whose
+result exposes ``table()``; modern entries build
+:class:`~repro.scenarios.spec.ScenarioSpec` values and execute them
+through ``runner.run_scenario`` (memoized), so everything an experiment
+compares is also expressible as a standalone scenario file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Experiment", "experiment", "experiment_registry", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registry entry: the callable plus its CLI-facing metadata."""
+
+    name: str
+    fn: Callable
+    description: str = ""
+    #: Whether ``fn`` takes the shared ``(runner, fidelity, seed)``
+    #: arguments; static experiments (pure table generators) ignore them.
+    takes_runner: bool = True
+
+    def __call__(self, runner, fidelity: str, seed: int):
+        if self.takes_runner:
+            return self.fn(runner, fidelity, seed)
+        return self.fn()
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def experiment(
+    name: str, description: str = "", takes_runner: bool = True
+) -> Callable:
+    """Register the decorated function as experiment ``name``.
+
+    >>> @experiment("toy-doctest", "a registry doctest entry",
+    ...             takes_runner=False)
+    ... def _toy():
+    ...     return "result"
+    >>> get_experiment("toy-doctest")(None, "smoke", 0)
+    'result'
+    >>> _ = _REGISTRY.pop("toy-doctest")  # keep the real registry clean
+    """
+    if not name:
+        raise ValueError("an experiment needs a name")
+
+    def register(fn: Callable) -> Callable:
+        if name in _REGISTRY and _REGISTRY[name].fn is not fn:
+            raise ValueError(f"experiment {name!r} is already registered")
+        desc = description
+        if not desc and fn.__doc__:
+            lines = fn.__doc__.strip().splitlines()
+            desc = lines[0] if lines else ""
+        _REGISTRY[name] = Experiment(
+            name=name, fn=fn, description=desc, takes_runner=takes_runner
+        )
+        return fn
+
+    return register
+
+
+def experiment_registry() -> dict[str, Experiment]:
+    """A snapshot of the registry (name -> entry), insertion order."""
+    return dict(_REGISTRY)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look an experiment up by name, listing the registry on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {name!r}; valid: {valid}"
+        ) from None

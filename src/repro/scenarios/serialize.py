@@ -1,0 +1,353 @@
+"""ScenarioSpec serialization: dict <-> TOML/JSON, strict both ways.
+
+A spec on disk is the unit of sharing and sweeping: ``repro run
+scenario.toml`` executes it, ``repro sweep`` grids over it, CI smoke-runs
+the checked-in examples.  Round-tripping is exact — ``from_toml(to_toml(
+spec)) == spec`` for every representable spec — and *strict*: unknown keys
+are rejected with the section and the valid choices in the message, so a
+typo'd field fails loudly instead of silently running the default.
+
+``None``-valued fields are omitted on write and default on read (TOML has
+no null), which is what keeps omission and explicit-default equal.  The
+writer is a minimal TOML emitter for exactly this schema (the container
+ships no ``tomli_w``); reading uses the stdlib ``tomllib``.
+
+File layout::
+
+    name = "mixed-scheme"        # top-level ScenarioSpec scalars
+    scheme = "clover"
+    n_gpus = 2
+
+    [[regions]]                  # one table per region, fleet order
+    name = "nordic-hydro"
+    scheme = "co2opt"            # optional per-region override
+
+    [routing]
+    router = "carbon-greedy"
+
+    [demand]
+    kind = "diurnal"
+
+    [gating]
+    mode = "reactive"
+
+    [sweep]                      # optional: `repro sweep` input
+    workers = 2
+    [sweep.axes]
+    "routing.router" = ["static", "carbon-greedy"]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import field as dc_field, fields, make_dataclass
+from pathlib import Path
+
+from repro.scenarios.spec import (
+    DemandSpec,
+    GatingSpec,
+    RegionSpec,
+    RoutingSpec,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_toml",
+    "spec_from_toml",
+    "spec_to_json",
+    "spec_from_json",
+    "load_scenario_file",
+    "SweepConfig",
+]
+
+#: ScenarioSpec fields holding nested sub-specs (emitted as TOML tables).
+_SUB_SPECS = {"routing": RoutingSpec, "demand": DemandSpec, "gating": GatingSpec}
+
+#: Fields that must be floats even when the file spells them as ints
+#: (TOML `duration_h = 24` parses as an integer).
+_FLOAT_FIELDS = {
+    "lambda_weight",
+    "duration_h",
+    "net_latency_ms",
+    "scale",
+    "ramp_share_per_h",
+    "drain_share_per_h",
+    "lookahead_h",
+    "wake_energy_j",
+}
+
+
+def _plain(value):
+    """A dataclass field value as plain JSON/TOML data (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _flat_dict(obj) -> dict:
+    """One dataclass level as a dict, ``None`` fields omitted."""
+    out = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if value is None:
+            continue
+        out[f.name] = _plain(value)
+    return out
+
+
+def spec_to_dict(spec: ScenarioSpec) -> dict:
+    """The spec as nested plain data (lists, dicts, scalars only)."""
+    out = {}
+    for f in fields(spec):
+        value = getattr(spec, f.name)
+        if f.name == "regions":
+            out["regions"] = [_flat_dict(r) for r in value]
+        elif f.name in _SUB_SPECS:
+            flat = _flat_dict(value)
+            if flat:
+                out[f.name] = flat
+        elif f.name == "name" and value == "":
+            continue  # an unlabeled scenario round-trips through omission
+        elif value is not None:
+            out[f.name] = _plain(value)
+    return out
+
+
+def _build(cls, data: dict, section: str):
+    """Construct one dataclass level from ``data``, rejecting unknowns."""
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{section} must be a table/object, got {type(data).__name__}"
+        )
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {', '.join(repr(k) for k in unknown)} in "
+            f"{section}; valid: {', '.join(sorted(valid))}"
+        )
+    kwargs = {}
+    for key, value in data.items():
+        if key in _FLOAT_FIELDS and isinstance(value, int):
+            value = float(value)
+        if isinstance(value, list) and key != "regions":
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Build (and validate) a :class:`ScenarioSpec` from nested plain data.
+
+    Unknown keys anywhere raise a :class:`ValueError` naming the section
+    and the valid keys; field-level validation (unknown regions, routers,
+    schemes, ...) happens in the spec constructors and carries the valid
+    registry entries in the message.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"a scenario must be a table/object, got {type(data).__name__}"
+        )
+    data = dict(data)
+    # Reject unknown top-level keys against the *full* field set before
+    # the sections are popped, so a typo'd section name ([routin]) gets
+    # 'routing' in its valid list.
+    valid_top = {f.name for f in fields(ScenarioSpec)}
+    unknown_top = sorted(set(data) - valid_top)
+    if unknown_top:
+        raise ValueError(
+            f"unknown key(s) {', '.join(repr(k) for k in unknown_top)} in "
+            f"the scenario; valid: {', '.join(sorted(valid_top))}"
+        )
+    kwargs = {}
+    regions = data.pop("regions", None)
+    if regions is None:
+        raise ValueError(
+            "a scenario needs a [[regions]] list (at least one region table "
+            "with a 'name')"
+        )
+    if not isinstance(regions, list):
+        raise ValueError("[[regions]] must be a list of region tables")
+    kwargs["regions"] = tuple(
+        _build(RegionSpec, entry, f"[[regions]] entry {i}")
+        for i, entry in enumerate(regions)
+    )
+    for name, cls in _SUB_SPECS.items():
+        if name in data:
+            kwargs[name] = _build(cls, data.pop(name), f"[{name}]")
+    top = _build(_Top, data, "the scenario")
+    for key in data:
+        kwargs[key] = getattr(top, key)
+    return ScenarioSpec(**kwargs)
+
+
+# A lightweight mirror of ScenarioSpec's scalar (non-nested) fields, so
+# _build() can reuse the same unknown-key/coercion machinery at the top
+# level without re-validating defaults for keys the file omitted.
+_Top = make_dataclass(
+    "_Top",
+    [
+        (f.name, f.type, dc_field(default=None))
+        for f in fields(ScenarioSpec)
+        if f.name not in {"regions", *_SUB_SPECS}
+    ],
+)
+
+# ---------------------------------------------------------------------- #
+# TOML
+# ---------------------------------------------------------------------- #
+
+
+#: TOML basic-string short escapes for the control characters that have
+#: them; everything else below 0x20 (and DEL) uses \\uXXXX.
+_TOML_ESCAPES = {
+    "\\": "\\\\", '"': '\\"', "\b": "\\b", "\t": "\\t",
+    "\n": "\\n", "\f": "\\f", "\r": "\\r",
+}
+
+
+def _toml_string(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch in _TOML_ESCAPES:
+            out.append(_TOML_ESCAPES[ch])
+        elif ord(ch) < 0x20 or ord(ch) == 0x7F:
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return '"' + "".join(out) + '"'
+
+
+def _toml_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return _toml_string(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise TypeError(f"cannot TOML-encode {type(value).__name__}: {value!r}")
+
+
+def _toml_table(data: dict) -> list[str]:
+    return [f"{key} = {_toml_value(value)}" for key, value in data.items()]
+
+
+def spec_to_toml(spec: ScenarioSpec) -> str:
+    """The spec as a TOML document (exact round-trip via ``spec_from_toml``)."""
+    data = spec_to_dict(spec)
+    lines = _toml_table(
+        {k: v for k, v in data.items() if not isinstance(v, (dict, list))}
+    )
+    for region in data["regions"]:
+        lines += ["", "[[regions]]", *_toml_table(region)]
+    for name in _SUB_SPECS:
+        table = data.get(name)
+        if table:
+            lines += ["", f"[{name}]", *_toml_table(table)]
+    return "\n".join(lines) + "\n"
+
+
+def _loads_toml(text: str) -> dict:
+    """Parse TOML via stdlib ``tomllib`` (3.11+) or the ``tomli`` backport.
+
+    The project supports Python 3.10, where ``tomllib`` does not exist;
+    ``pyproject.toml`` declares ``tomli`` as a conditional dependency
+    there, so one of the two is always importable.
+    """
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        import tomli as tomllib
+    return tomllib.loads(text)
+
+
+def spec_from_toml(text: str) -> ScenarioSpec:
+    """Parse a TOML document into a validated :class:`ScenarioSpec`."""
+    return spec_from_dict(_loads_toml(text))
+
+
+# ---------------------------------------------------------------------- #
+# JSON
+# ---------------------------------------------------------------------- #
+
+
+def spec_to_json(spec: ScenarioSpec, indent: int = 2) -> str:
+    return json.dumps(spec_to_dict(spec), indent=indent) + "\n"
+
+
+def spec_from_json(text: str) -> ScenarioSpec:
+    return spec_from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------- #
+# files (scenario + optional sweep section)
+# ---------------------------------------------------------------------- #
+
+
+class SweepConfig:
+    """The optional ``[sweep]`` section of a scenario file.
+
+    ``axes`` maps dotted spec paths (``"routing.router"``, ``"seed"``) to
+    value lists; ``workers`` is the process-pool width for
+    :func:`repro.scenarios.sweep.run_sweep` (``None`` = serial).
+    """
+
+    def __init__(self, axes: dict[str, list] | None = None,
+                 workers: int | None = None) -> None:
+        self.axes = dict(axes or {})
+        self.workers = workers
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(
+                f"sweep workers must be >= 1, got {self.workers}"
+            )
+        for path, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"sweep axis {path!r} needs a non-empty value list, "
+                    f"got {values!r}"
+                )
+
+    def __repr__(self) -> str:  # debugging/table titles
+        return f"SweepConfig(axes={self.axes!r}, workers={self.workers!r})"
+
+
+def _sweep_from_dict(data: dict) -> SweepConfig:
+    valid = {"axes", "workers"}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {', '.join(repr(k) for k in unknown)} in "
+            f"[sweep]; valid: {', '.join(sorted(valid))}"
+        )
+    return SweepConfig(
+        axes=data.get("axes"), workers=data.get("workers")
+    )
+
+
+def load_scenario_file(path: str | Path) -> tuple[ScenarioSpec, SweepConfig | None]:
+    """Load a ``.toml``/``.json`` scenario file (plus its sweep section).
+
+    Returns ``(spec, sweep)`` where ``sweep`` is ``None`` when the file
+    declares no ``[sweep]`` section.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".json":
+        data = json.loads(text)
+    elif path.suffix.lower() == ".toml":
+        data = _loads_toml(text)
+    else:
+        raise ValueError(
+            f"scenario files are .toml or .json, got {path.name!r}"
+        )
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: a scenario must be a table/object")
+    data = dict(data)
+    sweep = None
+    if "sweep" in data:
+        sweep = _sweep_from_dict(data.pop("sweep"))
+    return spec_from_dict(data), sweep

@@ -27,6 +27,7 @@ DOCUMENTS = (
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
+    "docs/MIGRATION.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")

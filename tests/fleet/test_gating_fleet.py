@@ -8,6 +8,7 @@ from repro.carbon.traces import ciso_march_48h
 from repro.core.controller import EpochCapacity
 from repro.core.service import CarbonAwareInferenceService
 from repro.fleet import FleetCoordinator, GatingPolicy, Region, region_by_name
+from repro.gpu.profiles import A100_PROFILE
 
 GPUS = 2
 DEMAND_REGIONS = ("us-ciso", "uk-eso", "apac-solar")
@@ -180,7 +181,9 @@ class ControllerHarness:
                 aux_energy_j=(
                     power.sleep_watts_per_gpu() * (4 - awake)
                     * c_gated.step_s
-                    + GatingPolicy().wake_energy_j * woken
+                    # The policy default (None) resolves to the device
+                    # profile's per-wake energy — all-A100 here.
+                    + A100_PROFILE.wake_energy_j * woken
                 ),
             )
             c_gated.step(r_gated, i, t_h, rate, capacity=capacity)

@@ -232,12 +232,26 @@ class TestHeterogeneousCapacityManager:
                 per_gpu_rates=(5.0, 0.0),
             )
 
-    def test_default_wake_energy_rejected_for_l4_fleet(self):
+    def test_default_wake_energy_fits_every_device(self):
+        """Per-profile wake energies: the A100-sized 2 kJ scalar used to
+        make a gated L4 fleet unassemblable; the profile defaults fit
+        each board's own static ceiling, so the mixed fleet gates out of
+        the box with no override."""
+        fleet = small_fleet(("a100", "l4"), gating="reactive")
+        assert fleet.gating is not None
+        assert fleet.gating.wake_energy_j is None  # per-device defaults
+
+    def test_scalar_wake_energy_rejected_for_l4_fleet(self):
         """The gated-never-out-spends-always-on invariant is enforced
-        against the leanest device: an L4 region with the A100-default
-        2 kJ wake energy must be rejected loudly."""
+        against the leanest device: an L4 region with an explicit
+        A100-sized 2 kJ wake energy must be rejected loudly."""
+        from repro.fleet import make_gating_policy
+
         with pytest.raises(ValueError, match="wake energy"):
-            small_fleet(("a100", "l4"), gating="reactive")
+            small_fleet(
+                ("a100", "l4"),
+                gating=make_gating_policy("reactive", wake_energy_j=2000.0),
+            )
 
 
 class TestFleetSpecDevices:

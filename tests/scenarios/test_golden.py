@@ -1,0 +1,394 @@
+"""Golden tests: the ScenarioSpec path reproduces the legacy path bit for bit.
+
+Two layers of protection against redesign drift:
+
+* **Execution** — ``legacy_run_fleet`` below is a verbatim replica of the
+  pre-scenario ``ExperimentRunner.run_fleet`` assembly (direct registry
+  lookups, no cache pooling).  For one representative ``FleetSpec`` per
+  legacy experiment family (``fig16``/``fleet``/``demand``/``gating``/
+  ``hetero``) the scenario path must reproduce its results exactly —
+  ``==``, not ``approx`` — which also proves cross-region cache pooling
+  changes no number.
+* **Spec mapping** — the experiment entries must build exactly the specs
+  :func:`scenario_from_fleet_spec` derives from their historical
+  ``FleetSpec`` parameters, so the registry entries, the ``fleet`` CLI
+  shim and standalone scenario files can never diverge.
+"""
+
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, FleetSpec, scenario_from_fleet_spec
+from repro.core.service import FidelityProfile
+from repro.fleet import FleetCoordinator, make_gating_policy, region_by_name
+from repro.fleet.routing import make_router
+from repro.gpu.profiles import parse_region_devices
+from repro.scenarios import (
+    DemandSpec,
+    GatingSpec,
+    RegionSpec,
+    RoutingSpec,
+    ScenarioSpec,
+)
+
+
+def legacy_run_fleet(spec: FleetSpec):
+    """Verbatim replica of the pre-scenario ``run_fleet`` assembly."""
+    device_specs: tuple
+    if spec.devices is None or isinstance(spec.devices, str):
+        device_specs = (spec.devices,) * len(spec.region_names)
+    else:
+        device_specs = spec.devices
+    regions = tuple(
+        region_by_name(
+            name,
+            n_gpus=spec.n_gpus,
+            devices=None if dev is None else parse_region_devices(dev),
+        )
+        for name, dev in zip(spec.region_names, device_specs)
+    )
+    if spec.net_latency_ms is not None:
+        regions = tuple(
+            dc_replace(r, net_latency_ms=spec.net_latency_ms) for r in regions
+        )
+    gating = spec.gating
+    if gating is not None and spec.wake_energy_j is not None:
+        gating = make_gating_policy(gating, wake_energy_j=spec.wake_energy_j)
+    router = spec.router
+    if not spec.efficiency_weighted:
+        router = make_router(spec.router, efficiency_weighted=False)
+    fleet = FleetCoordinator.create(
+        regions,
+        application=spec.application,
+        scheme=spec.scheme,
+        router=router,
+        lambda_weight=spec.lambda_weight,
+        fidelity=FidelityProfile.by_name(spec.fidelity),
+        seed=spec.seed,
+        demand=spec.demand,
+        demand_scale=spec.demand_scale,
+        ramp_share_per_h=spec.ramp_share_per_h,
+        drain_share_per_h=spec.drain_share_per_h,
+        lookahead_h=spec.lookahead_h,
+        forecaster=spec.forecaster,
+        gating=gating,
+    )
+    return fleet.run(duration_h=spec.duration_h)
+
+
+#: One representative FleetSpec per legacy experiment family (smoke
+#: fidelity, short horizons — the *construction* is what is under test).
+GOLDEN_SPECS = {
+    "fig16": FleetSpec(
+        region_names=("us-ciso",),
+        application="classification",
+        scheme="clover",
+        router="static",
+        fidelity="smoke",
+        seed=0,
+        net_latency_ms=0.0,
+        duration_h=6.0,
+    ),
+    "fleet": FleetSpec(
+        region_names=("us-ciso", "uk-eso", "nordic-hydro"),
+        router="carbon-greedy",
+        fidelity="smoke",
+        seed=0,
+        n_gpus=2,
+        duration_h=6.0,
+    ),
+    "demand": FleetSpec(
+        region_names=("us-ciso", "uk-eso", "apac-solar"),
+        router="forecast-aware",
+        fidelity="smoke",
+        seed=0,
+        n_gpus=2,
+        duration_h=6.0,
+        demand="diurnal",
+        ramp_share_per_h=0.10,
+        drain_share_per_h=0.20,
+        lookahead_h=6.0,
+    ),
+    "gating": FleetSpec(
+        region_names=("us-ciso", "uk-eso", "apac-solar"),
+        router="carbon-greedy",
+        fidelity="smoke",
+        seed=0,
+        n_gpus=2,
+        duration_h=6.0,
+        demand="diurnal",
+        ramp_share_per_h=0.10,
+        drain_share_per_h=0.20,
+        gating="reactive",
+    ),
+    "hetero": FleetSpec(
+        region_names=("us-ciso", "apac-solar"),
+        router="carbon-greedy",
+        fidelity="smoke",
+        seed=0,
+        n_gpus=2,
+        duration_h=6.0,
+        demand="diurnal",
+        ramp_share_per_h=0.10,
+        drain_share_per_h=0.20,
+        gating="reactive",
+        wake_energy_j=1000.0,
+        devices=("a100", "l4"),
+        efficiency_weighted=True,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_scenario_path_is_bit_for_bit_the_legacy_path(name):
+    spec = GOLDEN_SPECS[name]
+    legacy = legacy_run_fleet(spec)
+    modern = ExperimentRunner().run_fleet(spec)  # shim -> scenario path
+    assert modern.total_requests == legacy.total_requests
+    assert modern.total_energy_j == legacy.total_energy_j
+    assert modern.total_carbon_g == legacy.total_carbon_g
+    assert modern.mean_accuracy == legacy.mean_accuracy
+    assert modern.sla_attainment == legacy.sla_attainment
+    assert modern.router_name == legacy.router_name
+    assert modern.scheme_name == legacy.scheme_name
+    for new_r, old_r in zip(modern.results, legacy.results):
+        assert [e.p95_ms for e in new_r.epochs] == [
+            e.p95_ms for e in old_r.epochs
+        ]
+        assert [e.energy_j for e in new_r.epochs] == [
+            e.energy_j for e in old_r.epochs
+        ]
+        assert [e.requests for e in new_r.epochs] == [
+            e.requests for e in old_r.epochs
+        ]
+    if legacy.has_demand:
+        assert modern.user_sla_attainment == legacy.user_sla_attainment
+    if legacy.has_gating:
+        assert (
+            modern.awake_gpu_series() == legacy.awake_gpu_series()
+        ).all()
+
+
+class RecordingRunner(ExperimentRunner):
+    """Captures every spec an experiment executes (then runs it)."""
+
+    def __init__(self):
+        super().__init__()
+        self.specs: list[ScenarioSpec] = []
+
+    def run_scenario(self, spec):
+        self.specs.append(spec)
+        return super().run_scenario(spec)
+
+
+class TestExperimentsBuildTheShimSpecs:
+    """Each legacy experiment's scenarios == the FleetSpec conversions."""
+
+    def test_fig16(self):
+        from repro.analysis.experiments import fig16_geographic
+
+        runner = RecordingRunner()
+        fig16_geographic(
+            runner,
+            fidelity="smoke",
+            seed=0,
+            applications=("classification",),
+            trace_names=("ciso-march",),
+        )
+        expected = [
+            scenario_from_fleet_spec(
+                FleetSpec(
+                    region_names=("us-ciso",),
+                    application="classification",
+                    scheme=scheme,
+                    router="static",
+                    fidelity="smoke",
+                    seed=0,
+                    net_latency_ms=0.0,
+                )
+            )
+            for scheme in ("base", "clover")
+        ]
+        assert runner.specs == expected
+
+    def test_fleet(self):
+        from repro.analysis.experiments import fleet_load_shifting
+
+        runner = RecordingRunner()
+        fleet_load_shifting(
+            runner,
+            fidelity="smoke",
+            seed=0,
+            n_gpus=2,
+            duration_h=3.0,
+            routers=("static", "carbon-greedy"),
+        )
+        expected = [
+            scenario_from_fleet_spec(
+                FleetSpec(
+                    region_names=("us-ciso", "uk-eso", "nordic-hydro"),
+                    application="classification",
+                    scheme="clover",
+                    router=r,
+                    fidelity="smoke",
+                    seed=0,
+                    n_gpus=2,
+                    duration_h=3.0,
+                )
+            )
+            for r in ("static", "carbon-greedy")
+        ]
+        assert runner.specs == expected
+
+    def test_demand(self):
+        from repro.analysis.experiments import demand_routing
+
+        runner = RecordingRunner()
+        demand_routing(
+            runner,
+            fidelity="smoke",
+            seed=0,
+            n_gpus=2,
+            duration_h=3.0,
+            routers=("static", "forecast-aware"),
+        )
+        expected = [
+            scenario_from_fleet_spec(
+                FleetSpec(
+                    region_names=("us-ciso", "uk-eso", "apac-solar"),
+                    application="classification",
+                    scheme="clover",
+                    router=r,
+                    fidelity="smoke",
+                    seed=0,
+                    n_gpus=2,
+                    duration_h=3.0,
+                    demand="diurnal",
+                    ramp_share_per_h=0.10,
+                    drain_share_per_h=0.20,
+                    lookahead_h=(6.0 if r == "forecast-aware" else None),
+                )
+            )
+            for r in ("static", "forecast-aware")
+        ]
+        assert runner.specs == expected
+
+    def test_gating(self):
+        from repro.analysis.experiments import GATING_ROWS, gating_elasticity
+
+        runner = RecordingRunner()
+        gating_elasticity(
+            runner, fidelity="smoke", seed=0, n_gpus=2, duration_h=3.0
+        )
+        expected = [
+            scenario_from_fleet_spec(
+                FleetSpec(
+                    region_names=("us-ciso", "uk-eso", "apac-solar"),
+                    application="classification",
+                    scheme="clover",
+                    router=router,
+                    fidelity="smoke",
+                    seed=0,
+                    n_gpus=2,
+                    duration_h=3.0,
+                    demand="diurnal",
+                    ramp_share_per_h=0.10,
+                    drain_share_per_h=0.20,
+                    lookahead_h=(6.0 if needs_lookahead else None),
+                    gating=gating,
+                )
+            )
+            for _, router, gating, needs_lookahead in GATING_ROWS
+        ]
+        assert runner.specs == expected
+
+    def test_hetero(self):
+        from repro.analysis.experiments import (
+            HETERO_DEVICES,
+            HETERO_ROWS,
+            HETERO_WAKE_ENERGY_J,
+            hetero_fleet,
+        )
+
+        runner = RecordingRunner()
+        hetero_fleet(
+            runner, fidelity="smoke", seed=0, n_gpus=2, duration_h=3.0
+        )
+        expected = [
+            scenario_from_fleet_spec(
+                FleetSpec(
+                    region_names=("us-ciso", "uk-eso", "apac-solar"),
+                    application="classification",
+                    scheme="clover",
+                    router=router,
+                    fidelity="smoke",
+                    seed=0,
+                    n_gpus=2,
+                    duration_h=3.0,
+                    demand="diurnal",
+                    ramp_share_per_h=0.10,
+                    drain_share_per_h=0.20,
+                    lookahead_h=(6.0 if needs_lookahead else None),
+                    gating="reactive",
+                    wake_energy_j=HETERO_WAKE_ENERGY_J,
+                    devices=HETERO_DEVICES,
+                    efficiency_weighted=efficiency,
+                )
+            )
+            for _, router, efficiency, needs_lookahead in HETERO_ROWS
+        ]
+        assert runner.specs == expected
+
+
+class TestMixedSchemeScenario:
+    """The tentpole's new capability: per-region scheme assignment."""
+
+    def _run(self, schemes):
+        spec = ScenarioSpec(
+            regions=(
+                RegionSpec(name="nordic-hydro", scheme=schemes[0]),
+                RegionSpec(name="us-ciso", scheme=schemes[1]),
+            ),
+            fidelity="smoke",
+            n_gpus=2,
+            duration_h=6.0,
+            routing=RoutingSpec(router="carbon-greedy"),
+        )
+        return ExperimentRunner().run_scenario(spec)
+
+    def test_mixed_scheme_runs_end_to_end(self):
+        result = self._run(("co2opt", "clover"))
+        assert result.scheme_name == "co2opt+clover"
+        assert result.scheme_by_region == {
+            "nordic-hydro": "co2opt",
+            "us-ciso": "clover",
+        }
+        assert result.total_requests > 0
+        assert result.total_carbon_g > 0
+
+    def test_mixed_scheme_differs_from_uniform(self):
+        mixed = self._run(("co2opt", "clover"))
+        uniform = self._run(("clover", "clover"))
+        assert uniform.scheme_name == "clover"
+        assert mixed.total_carbon_g != uniform.total_carbon_g
+
+    def test_uniform_per_region_equals_plain_scheme(self):
+        """Explicit per-region schemes that all agree build the same
+        coordinator as the plain scheme string — bit for bit."""
+        explicit = self._run(("clover", "clover"))
+        plain = ExperimentRunner().run_scenario(
+            ScenarioSpec(
+                regions=(
+                    RegionSpec(name="nordic-hydro"),
+                    RegionSpec(name="us-ciso"),
+                ),
+                scheme="clover",
+                fidelity="smoke",
+                n_gpus=2,
+                duration_h=6.0,
+                routing=RoutingSpec(router="carbon-greedy"),
+            )
+        )
+        assert explicit.total_carbon_g == plain.total_carbon_g
+        assert explicit.total_energy_j == plain.total_energy_j

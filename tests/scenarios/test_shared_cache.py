@@ -1,0 +1,96 @@
+"""Cross-region evaluator cache pooling (satellite)."""
+
+from repro.scenarios import (
+    RegionSpec,
+    RoutingSpec,
+    Scenario,
+    ScenarioSpec,
+)
+
+
+def spec(shared: bool, devices=None) -> ScenarioSpec:
+    return ScenarioSpec(
+        regions=(
+            RegionSpec(name="us-ciso", devices=devices),
+            RegionSpec(name="uk-eso", devices=devices),
+            RegionSpec(name="nordic-hydro", devices=devices),
+        ),
+        scheme="clover",
+        fidelity="smoke",
+        n_gpus=2,
+        duration_h=6.0,
+        routing=RoutingSpec(router="carbon-greedy"),
+        shared_cache=shared,
+    )
+
+
+def opt_misses(result) -> int:
+    return sum(
+        r.opt_cache.misses for r in result.results if r.opt_cache is not None
+    )
+
+
+class TestSharedCache:
+    def test_results_identical_with_and_without_sharing(self):
+        """Pooling is a pure-function cache merge: no number may move."""
+        pooled = Scenario(spec(shared=True)).run()
+        isolated = Scenario(spec(shared=False)).run()
+        assert pooled.total_carbon_g == isolated.total_carbon_g
+        assert pooled.total_energy_j == isolated.total_energy_j
+        assert pooled.total_requests == isolated.total_requests
+        assert pooled.mean_accuracy == isolated.mean_accuracy
+        for p_r, i_r in zip(pooled.results, isolated.results):
+            assert [e.p95_ms for e in p_r.epochs] == [
+                e.p95_ms for e in i_r.epochs
+            ]
+
+    def test_warm_up_evaluation_count_drops_on_uniform_fleet(self):
+        """The satellite's acceptance: identical-hardware regions stop
+        re-deriving each other's evaluations."""
+        pooled = Scenario(spec(shared=True)).run()
+        isolated = Scenario(spec(shared=False)).run()
+        assert opt_misses(pooled) < opt_misses(isolated)
+
+    def test_hit_stats_still_reported_per_region(self):
+        pooled = Scenario(spec(shared=True)).run()
+        by_region = pooled.cache_stats_by_region
+        assert set(by_region) == {"us-ciso", "uk-eso", "nordic-hydro"}
+        assert all(s.evaluations > 0 for s in by_region.values())
+
+    def test_different_pools_never_share(self):
+        """Pooling groups by device pool: mixed-silicon fleets keep their
+        per-region caches apart (cache-key isolation is preserved)."""
+        from repro.fleet.coordinator import share_evaluator_caches
+        from repro.scenarios import build_coordinator
+
+        mixed = ScenarioSpec(
+            regions=(
+                RegionSpec(name="us-ciso", devices="a100"),
+                RegionSpec(name="uk-eso", devices="l4"),
+            ),
+            fidelity="smoke",
+            n_gpus=2,
+            shared_cache=True,
+        )
+        fleet = build_coordinator(mixed)
+        evaluators = [s.service.scheme.evaluator for s in fleet.services]
+        assert evaluators[0].cache_store is not evaluators[1].cache_store
+        # ... while same-pool services do share.
+        uniform = build_coordinator(spec(shared=True))
+        stores = {
+            id(s.service.scheme.evaluator.cache_store)
+            for s in uniform.services
+        }
+        assert len(stores) == 1
+
+    def test_measure_evaluators_never_pooled(self):
+        """DES measurement caches are seed-dependent and must stay
+        per-region even when the analytic caches pool."""
+        from repro.scenarios import build_coordinator
+
+        fleet = build_coordinator(spec(shared=True))
+        stores = {
+            id(s.controller.measure_evaluator.cache_store)
+            for s in fleet.services
+        }
+        assert len(stores) == len(fleet.services)

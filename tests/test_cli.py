@@ -15,7 +15,10 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "fig6"])
         assert args.command == "run"
-        assert args.fidelity == "default"
+        # None = "default" for experiments, the file's own fidelity for
+        # scenario paths (the CLI flag only overrides when given).
+        assert args.fidelity is None
+        assert args.seed is None
         assert args.experiments == ["fig6"]
 
     def test_bad_fidelity_rejected(self):
@@ -138,3 +141,189 @@ class TestDemandFlags:
     def test_demand_listed_as_experiment(self, capsys):
         assert main(["list"]) == 0
         assert "demand" in capsys.readouterr().out.split()
+
+
+SCENARIO_TOML = """\
+name = "cli-test"
+scheme = "base"
+fidelity = "smoke"
+n_gpus = 2
+duration_h = 2.0
+
+[[regions]]
+name = "us-ciso"
+
+[[regions]]
+name = "nordic-hydro"
+scheme = "co2opt"
+
+[routing]
+router = "carbon-greedy"
+"""
+
+
+class TestScenarioRun:
+    """`repro run <scenario.toml>`: the declarative front door."""
+
+    def _write(self, tmp_path, text=SCENARIO_TOML, name="scn.toml"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_runs_scenario_file(self, tmp_path, capsys):
+        assert main(["run", self._write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: cli-test" in out
+        assert "us-ciso" in out and "nordic-hydro" in out
+        # The per-region scheme mix is surfaced.
+        assert "nordic-hydro=co2opt" in out
+
+    def test_repeat_runs_print_identical_tables(self, tmp_path, capsys):
+        """Satellite bugfix: one --seed threads through scenario
+        construction, so reruns of the same spec are reproducible end to
+        end — byte-identical reports."""
+        path = self._write(tmp_path)
+        assert main(["run", path, "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", path, "--seed", "3"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "seed 3" in first
+
+    def test_cli_fidelity_and_seed_override_the_file(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert main(["run", path, "--fidelity", "smoke", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "(smoke, seed 9)" in out
+
+    def test_unknown_key_fails_actionably(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, SCENARIO_TOML + "\nbananas = 3\n", "bad.toml"
+        )
+        assert main(["run", path]) == 2
+        err = capsys.readouterr().err
+        assert "bananas" in err and "valid" in err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.toml")]) == 2
+        assert "no such scenario file" in capsys.readouterr().err
+
+    def test_experiments_and_scenarios_mix_in_one_invocation(
+        self, tmp_path, capsys
+    ):
+        assert main(["run", "fig6", self._write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "scenario: cli-test" in out
+
+
+class TestSweepCommand:
+    def _write(self, tmp_path, extra=""):
+        path = tmp_path / "sweep.toml"
+        path.write_text(SCENARIO_TOML + extra)
+        return str(path)
+
+    def test_axis_flag_sweeps(self, tmp_path, capsys):
+        assert main(
+            [
+                "sweep", self._write(tmp_path),
+                "--axis", "routing.router=static,carbon-greedy",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 scenarios" in out
+        assert "static" in out and "carbon-greedy" in out
+
+    def test_file_sweep_section_with_workers(self, tmp_path, capsys):
+        extra = (
+            "\n[sweep]\nworkers = 2\n[sweep.axes]\nseed = [0, 1]\n"
+        )
+        assert main(["sweep", self._write(tmp_path, extra)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 scenarios" in out
+        assert "2 workers" in out
+
+    def test_no_axes_fails_actionably(self, tmp_path, capsys):
+        assert main(["sweep", self._write(tmp_path)]) == 2
+        assert "nothing to sweep" in capsys.readouterr().err
+
+    def test_bad_axis_fails(self, tmp_path, capsys):
+        assert main(
+            ["sweep", self._write(tmp_path), "--axis", "seed"]
+        ) == 2
+        assert "PATH=V1,V2" in capsys.readouterr().err
+
+
+class TestFleetShimBuildsEqualSpecs:
+    """Every legacy `fleet` invocation maps onto one ScenarioSpec."""
+
+    def _spec(self, argv):
+        from repro.cli import fleet_args_to_spec
+
+        return fleet_args_to_spec(build_parser().parse_args(["fleet"] + argv))
+
+    def test_default_invocation(self):
+        from repro.scenarios import RegionSpec, RoutingSpec, ScenarioSpec
+
+        assert self._spec([]) == ScenarioSpec(
+            regions=(
+                RegionSpec(name="us-ciso"),
+                RegionSpec(name="uk-eso"),
+                RegionSpec(name="nordic-hydro"),
+            ),
+            fidelity="smoke",
+            n_gpus=4,
+            duration_h=24.0,
+            routing=RoutingSpec(router="carbon-greedy"),
+        )
+
+    def test_full_flag_surface(self):
+        from repro.scenarios import (
+            DemandSpec,
+            GatingSpec,
+            RegionSpec,
+            RoutingSpec,
+            ScenarioSpec,
+        )
+
+        argv = [
+            "--regions", "us-ciso,apac-solar",
+            "--router", "forecast-aware",
+            "--scheme", "co2opt",
+            "--n-gpus", "2",
+            "--duration-h", "12",
+            "--seed", "5",
+            "--demand", "diurnal",
+            "--ramp-share-per-h", "0.1",
+            "--drain-share-per-h", "0.2",
+            "--lookahead-h", "4",
+            "--gating", "forecast",
+            "--wake-energy-j", "900",
+            "--devices", "us-ciso=a100,apac-solar=l4",
+        ]
+        assert self._spec(argv) == ScenarioSpec(
+            regions=(
+                RegionSpec(name="us-ciso", devices="a100"),
+                RegionSpec(name="apac-solar", devices="l4"),
+            ),
+            scheme="co2opt",
+            fidelity="smoke",
+            seed=5,
+            n_gpus=2,
+            duration_h=12.0,
+            routing=RoutingSpec(router="forecast-aware", lookahead_h=4.0),
+            demand=DemandSpec(
+                kind="diurnal", ramp_share_per_h=0.1, drain_share_per_h=0.2
+            ),
+            gating=GatingSpec(mode="forecast", wake_energy_j=900.0),
+        )
+
+    def test_intensity_only_maps_to_efficiency_flag(self):
+        spec = self._spec(["--intensity-only"])
+        assert spec.routing.efficiency_weighted is False
+
+    def test_mixed_pool_devices_map_to_tuples(self):
+        spec = self._spec(
+            ["--regions", "us-ciso", "--n-gpus", "2",
+             "--devices", "a100:1+l4:1"]
+        )
+        assert spec.regions[0].devices == ("a100", "l4")
