@@ -32,6 +32,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -255,6 +256,32 @@ def build_parser() -> argparse.ArgumentParser:
             "static draw over the wake window"
         ),
     )
+    bench = sub.add_parser(
+        "bench", help="run the pinned perf scenarios / check the baseline"
+    )
+    bench.add_argument(
+        "--fidelity", default="default", choices=("smoke", "default")
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="write the suite result as a baseline JSON (BENCH_perf_core "
+        "schema) to this path",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed baseline JSON and exit 1 on any "
+        "regression beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional ops/s or speedup drop for --check "
+        "(default: 0.30)",
+    )
     return parser
 
 
@@ -296,7 +323,8 @@ def _print_fleet_result(report, title: str) -> None:
     cache = report.cache_stats
     print(
         f"  evaluator cache: {cache.hits:,} hits / {cache.misses:,} misses "
-        f"({100 * cache.hit_rate:.1f}% hit rate)"
+        f"({100 * cache.hit_rate:.1f}% hit rate, "
+        f"{cache.batched:,} batch-evaluated)"
     )
     if report.has_gating:
         print(
@@ -655,6 +683,54 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_TOLERANCE,
+        check_regressions,
+        load_baseline,
+        run_suite,
+        write_baseline,
+    )
+
+    baseline = None
+    if args.check:
+        try:
+            baseline = load_baseline(args.check)
+        except OSError:
+            print(f"no such perf baseline: {args.check}", file=sys.stderr)
+            return 2
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"invalid perf baseline {args.check}: {exc}", file=sys.stderr
+            )
+            return 2
+    suite = run_suite(args.fidelity)
+    print(f"perf suite ({suite.fidelity} fidelity, calibration "
+          f"{suite.calibration_ops_per_s:,.1f} kernel-ops/s)")
+    header = f"  {'scenario':<16} {'ops/s':>12} {'vs scalar':>10}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for s in suite.scenarios:
+        print(f"  {s.name:<16} {s.ops_per_s:>12,.1f} "
+              f"{s.speedup_vs_scalar:>9.2f}x")
+    if args.out:
+        path = write_baseline(suite, args.out)
+        print(f"wrote baseline to {path}")
+    if baseline is not None:
+        tolerance = (
+            DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        )
+        failures = check_regressions(suite, baseline, tolerance)
+        if failures:
+            print(f"perf regressions vs {args.check}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(tolerance {100 * tolerance:.0f}%)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -671,6 +747,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -62,7 +62,7 @@ from repro.core.graph import ConfigGraph
 from repro.gpu.profiles import DevicePool
 from repro.models.perf import PerfModel
 from repro.models.zoo import ModelZoo
-from repro.serving.analytic import estimate_fifo
+from repro.serving.analytic import BatchQueueEstimate, estimate_fifo, estimate_fifo_batch
 from repro.serving.des import simulate_fifo
 from repro.serving.instance import DEFAULT_JITTER_CV
 from repro.serving.metrics import summarize
@@ -74,11 +74,19 @@ __all__ = ["Evaluation", "CacheStats", "ConfigEvaluator"]
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one evaluator's configuration cache."""
+    """Hit/miss counters of one evaluator's configuration cache.
+
+    ``batched`` counts the evaluations *computed* through the vectorized
+    batch paths (:meth:`ConfigEvaluator.evaluate_batch` /
+    :meth:`~ConfigEvaluator.evaluate_rates`) — a subset of ``misses``, so
+    it surfaces how much of the cache-filling work ran at array speed
+    rather than one scalar estimate at a time.
+    """
 
     hits: int
     misses: int
     size: int
+    batched: int = 0
 
     @property
     def evaluations(self) -> int:
@@ -89,6 +97,12 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of requests served from cache (0 when never queried)."""
         return self.hits / self.evaluations if self.evaluations else 0.0
+
+    @property
+    def batch_rate(self) -> float:
+        """Fraction of cache-filling work done at array speed (0 when
+        nothing missed)."""
+        return self.batched / self.misses if self.misses else 0.0
 
 
 @dataclass(frozen=True)
@@ -161,9 +175,22 @@ class ConfigEvaluator:
     _cache: dict[tuple, Evaluation] = field(default_factory=dict, repr=False)
     _hits: int = field(default=0, init=False, repr=False)
     _misses: int = field(default=0, init=False, repr=False)
+    _batched: int = field(default=0, init=False, repr=False)
     _num_variants: int = field(init=False, repr=False)
     _device_perfs: tuple[PerfModel, ...] | None = field(
         default=None, init=False, repr=False
+    )
+    # Lazily-built (variant x slice-type) lookup tables; cells are filled
+    # on first use because some combinations are infeasible (OOM) and must
+    # only be priced when a graph actually hosts them.
+    _svc_table: np.ndarray | None = field(default=None, init=False, repr=False)
+    _watts_table: np.ndarray | None = field(default=None, init=False, repr=False)
+    _acc_vec: np.ndarray | None = field(default=None, init=False, repr=False)
+    _filled: np.ndarray | None = field(default=None, init=False, repr=False)
+    # Per-graph instance arrays, keyed by graph key: bisections probe the
+    # same deployed graph at dozens of rates, and the flattening is pure.
+    _arrays_cache: dict[bytes, tuple] = field(
+        default_factory=dict, init=False, repr=False
     )
 
     def __post_init__(self) -> None:
@@ -239,6 +266,176 @@ class ConfigEvaluator:
                 "evaluate the concrete ClusterConfig instead"
             )
         return self._cached_evaluate(graph, self._resolve_rate(rate_per_s), None)
+
+    def evaluate_batch(
+        self, configs, rate_per_s: float | None = None
+    ) -> list[Evaluation]:
+        """Evaluate a whole candidate set at one rate in one vectorized pass.
+
+        Cache-compatible with :meth:`evaluate`: every configuration is
+        keyed and looked up exactly as the scalar path keys it (hits and
+        misses counted identically, duplicates within the batch counting
+        as hits after their first occurrence), and the misses are computed
+        through :func:`~repro.serving.analytic.estimate_fifo_batch` in
+        groups of equal instance count — results land in the shared cache
+        and agree with the scalar estimator to ~1e-12 relative.  DES
+        evaluators fall back to the scalar loop (their samples are
+        per-graph streams with nothing to batch).
+        """
+        configs = list(configs)
+        rate = self._resolve_rate(rate_per_s)
+        if self.method != "analytic":
+            return [self.evaluate(c, rate) for c in configs]
+        awake = self._effective_awake()
+        n_powered = self.n_gpus if awake is None else awake
+        results: list[Evaluation | None] = [None] * len(configs)
+        pending: dict[tuple, list[int]] = {}
+        graphs: dict[tuple, ConfigGraph] = {}
+        for i, config in enumerate(configs):
+            if config.family != self.family:
+                raise ValueError(
+                    f"evaluator serves {self.family!r}, got a "
+                    f"{config.family!r} config"
+                )
+            if config.n_gpus != self.n_gpus:
+                raise ValueError(
+                    f"evaluator sized for {self.n_gpus} GPUs, "
+                    f"got {config.n_gpus}"
+                )
+            trimmed = (
+                self._trim_to_awake(config, awake) if awake is not None else config
+            )
+            graph = ConfigGraph.from_config(trimmed, self._num_variants)
+            key = self._cache_key(graph, rate, awake)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._hits += 1
+                results[i] = hit
+            elif key in pending:
+                # A duplicate inside the batch: the first occurrence is
+                # the miss that computes it, exactly as a scalar loop
+                # would have counted.
+                self._hits += 1
+                pending[key].append(i)
+            else:
+                self._misses += 1
+                pending[key] = [i]
+                graphs[key] = graph
+        self._compute_pending(graphs, pending, results, rate, n_powered)
+        return results
+
+    def evaluate_rates(self, config: ClusterConfig, rates_per_s) -> list[Evaluation]:
+        """Evaluate one configuration over a grid of rates in one pass.
+
+        The fleet router's SLA bisections probe a deployed configuration
+        at many candidate rates; this batches the uncached probes through
+        the vectorized estimator while keeping the cache keys — and the
+        hit/miss accounting — exactly what per-rate :meth:`evaluate`
+        calls would have produced.
+        """
+        rates = [self._resolve_rate(float(r)) for r in rates_per_s]
+        if self.method != "analytic":
+            return [self.evaluate(config, r) for r in rates]
+        if config.family != self.family:
+            raise ValueError(
+                f"evaluator serves {self.family!r}, got a "
+                f"{config.family!r} config"
+            )
+        if config.n_gpus != self.n_gpus:
+            raise ValueError(
+                f"evaluator sized for {self.n_gpus} GPUs, got {config.n_gpus}"
+            )
+        awake = self._effective_awake()
+        n_powered = self.n_gpus if awake is None else awake
+        trimmed = (
+            self._trim_to_awake(config, awake) if awake is not None else config
+        )
+        graph = ConfigGraph.from_config(trimmed, self._num_variants)
+        results: list[Evaluation | None] = [None] * len(rates)
+        pending: dict[tuple, list[int]] = {}
+        miss_rates: list[float] = []
+        for i, r in enumerate(rates):
+            key = self._cache_key(graph, r, awake)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._hits += 1
+                results[i] = hit
+            elif key in pending:
+                self._hits += 1
+                pending[key].append(i)
+            else:
+                self._misses += 1
+                pending[key] = [i]
+                miss_rates.append(r)
+        if pending:
+            service, watts, acc, static_watts = self._graph_arrays(
+                graph, n_powered
+            )
+            evals = self._batch_analytic(
+                service, watts, acc, static_watts, np.asarray(miss_rates)
+            )
+            self._batched += len(evals)
+            for key, ev in zip(pending, evals):
+                self._cache[key] = ev
+                for i in pending[key]:
+                    results[i] = ev
+        return results
+
+    def _compute_pending(
+        self,
+        graphs: dict[tuple, ConfigGraph],
+        pending: dict[tuple, list[int]],
+        results: list[Evaluation | None],
+        rate: float,
+        n_powered: int,
+    ) -> None:
+        """Batch-compute cache misses as one zero-padded group.
+
+        Ragged candidate sets are right-padded to the widest row and
+        masked, so every miss shares a single lockstep p95 bisection —
+        the per-iteration cost amortizes over the whole batch instead of
+        one group per distinct instance count.
+        """
+        if not pending:  # every configuration was a cache hit
+            return
+        entries = []
+        for key, graph in graphs.items():
+            service, watts, acc, static_watts = self._graph_arrays(
+                graph, n_powered
+            )
+            entries.append((key, service, watts, acc, static_watts))
+        sizes = np.array([e[1].size for e in entries], dtype=np.intp)
+        m_max = int(sizes.max())
+        g = len(entries)
+        service = np.zeros((g, m_max))
+        watts = np.zeros((g, m_max))
+        acc = np.zeros((g, m_max))
+        valid = np.zeros((g, m_max), dtype=bool)
+        static = np.empty(g)
+        for i, (_, s, w, a, sw) in enumerate(entries):
+            k = s.size
+            service[i, :k] = s
+            watts[i, :k] = w
+            acc[i, :k] = a
+            valid[i, :k] = True
+            static[i] = sw
+        # Equal-width batches skip the mask entirely, keeping the
+        # arithmetic order identical to the unpadded formulas.
+        mask = None if bool(np.all(sizes == m_max)) else valid
+        evals = self._batch_analytic(
+            service,
+            watts,
+            acc,
+            static,
+            np.full(g, rate),
+            valid=mask,
+            counts=sizes,
+        )
+        self._batched += len(evals)
+        for (key, *_), ev in zip(entries, evals):
+            self._cache[key] = ev
+            for i in pending[key]:
+                results[i] = ev
 
     @property
     def pool_key(self) -> tuple[str, ...] | None:
@@ -321,9 +518,19 @@ class ConfigEvaluator:
         return self._misses
 
     @property
+    def cache_batched(self) -> int:
+        """Evaluations computed through the vectorized batch paths."""
+        return self._batched
+
+    @property
     def cache_stats(self) -> CacheStats:
         """Counters snapshot: how much evaluation work the cache saved."""
-        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._cache))
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._cache),
+            batched=self._batched,
+        )
 
     # ------------------------------------------------------------------ #
     # internals
@@ -336,9 +543,9 @@ class ConfigEvaluator:
             raise ValueError(f"rate must be positive, got {rate_per_s}")
         return rate_per_s
 
-    def _cached_evaluate(
+    def _cache_key(
         self, graph: ConfigGraph, rate: float, awake: int | None
-    ) -> Evaluation:
+    ) -> tuple:
         # Fully-awake evaluations keep the seed's 2-tuple key; gated ones
         # append the awake count, because a trimmed graph can collide with
         # a full configuration of the same multiset while owing a
@@ -348,6 +555,12 @@ class ConfigEvaluator:
         key = (graph.key(), rate) if awake is None else (graph.key(), rate, awake)
         if self.device_pool is not None:
             key = key + (self.device_pool.names,)
+        return key
+
+    def _cached_evaluate(
+        self, graph: ConfigGraph, rate: float, awake: int | None
+    ) -> Evaluation:
+        key = self._cache_key(graph, rate, awake)
         hit = self._cache.get(key)
         if hit is not None:
             self._hits += 1
@@ -357,27 +570,54 @@ class ConfigEvaluator:
         self._cache[key] = result
         return result
 
+    def _fill_tables(self, v_idx: np.ndarray, s_idx: np.ndarray) -> None:
+        """Price any (variant, slice) cells the lookup tables lack.
+
+        The tables are filled lazily — infeasible combinations raise in
+        the perf model and must only be priced when a graph actually
+        hosts them — and each cell is the *same* ``latency_s`` /
+        ``busy_watts`` call the original per-instance loop made, so the
+        flattened arrays are bit-for-bit what the loop produced.
+        """
+        from repro.gpu.slices import SLICE_TYPES
+
+        fam = self.zoo.family(self.family)
+        if self._svc_table is None:
+            shape = (self._num_variants, len(SLICE_TYPES))
+            self._svc_table = np.full(shape, np.nan)
+            self._watts_table = np.full(shape, np.nan)
+            self._filled = np.zeros(shape, dtype=bool)
+            self._acc_vec = np.array(
+                [fam.variant(v + 1).accuracy for v in range(self._num_variants)]
+            )
+        for v, s in zip(v_idx, s_idx):
+            if not self._filled[v, s]:
+                variant = fam.variant(int(v) + 1)
+                slice_type = SLICE_TYPES[int(s)]
+                self._svc_table[v, s] = self.perf.latency_s(variant, slice_type)
+                self._watts_table[v, s] = self.perf.busy_watts(variant, slice_type)
+                self._filled[v, s] = True
+
     def _instance_arrays(
         self, graph: ConfigGraph
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Flatten a graph to per-instance (service_s, busy_watts, accuracy)."""
-        fam = self.zoo.family(self.family)
-        from repro.gpu.slices import SLICE_TYPES
+        """Flatten a graph to per-instance (service_s, busy_watts, accuracy).
 
-        service, watts, acc = [], [], []
-        for v_idx, s_idx in zip(*np.nonzero(graph.weights)):
-            variant = fam.variant(int(v_idx) + 1)
-            slice_type = SLICE_TYPES[int(s_idx)]
-            count = int(graph.weights[v_idx, s_idx])
-            service.extend([self.perf.latency_s(variant, slice_type)] * count)
-            watts.extend([self.perf.busy_watts(variant, slice_type)] * count)
-            acc.extend([variant.accuracy] * count)
-        if not service:
+        ``np.nonzero`` iterates (variant, slice) cells in the same
+        row-major order the original Python loop did, and ``np.repeat``
+        replicates each cell's value ``count`` times in place of
+        ``list.extend`` — same values, same order, at array speed.
+        """
+        v_idx, s_idx = np.nonzero(graph.weights)
+        if v_idx.size == 0:
             raise ValueError("configuration hosts no instances")
+        if self._filled is None or not self._filled[v_idx, s_idx].all():
+            self._fill_tables(v_idx, s_idx)
+        counts = graph.weights[v_idx, s_idx].astype(np.intp)
         return (
-            np.asarray(service, dtype=np.float64),
-            np.asarray(watts, dtype=np.float64),
-            np.asarray(acc, dtype=np.float64),
+            np.repeat(self._svc_table[v_idx, s_idx], counts),
+            np.repeat(self._watts_table[v_idx, s_idx], counts),
+            np.repeat(self._acc_vec[v_idx], counts),
         )
 
     def _pool_instance_arrays(
@@ -412,10 +652,20 @@ class ConfigEvaluator:
             np.asarray(acc, dtype=np.float64),
         )
 
-    def _evaluate_graph(
-        self, graph: ConfigGraph, rate: float, awake: int | None = None
-    ) -> Evaluation:
-        n_powered = self.n_gpus if awake is None else awake
+    def _graph_arrays(
+        self, graph: ConfigGraph, n_powered: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Cached per-instance arrays + static draw for one graph.
+
+        Keyed by graph key (and the powered count on the pool path, where
+        placement — and so pricing — depends on how many devices serve):
+        SLA bisections probe one deployed graph at dozens of rates, and
+        the flattening is a pure function of the graph.
+        """
+        key = (graph.key(), None if self.device_pool is None else n_powered)
+        cached = self._arrays_cache.get(key)
+        if cached is not None:
+            return cached
         if self.device_pool is None:
             service, watts, acc = self._instance_arrays(graph)
             static_watts = self.perf.power.static_watts_per_gpu() * n_powered
@@ -427,6 +677,15 @@ class ConfigEvaluator:
                     for p in self.device_pool.profiles[:n_powered]
                 )
             )
+        out = (service, watts, acc, static_watts)
+        self._arrays_cache[key] = out
+        return out
+
+    def _evaluate_graph(
+        self, graph: ConfigGraph, rate: float, awake: int | None = None
+    ) -> Evaluation:
+        n_powered = self.n_gpus if awake is None else awake
+        service, watts, acc, static_watts = self._graph_arrays(graph, n_powered)
 
         if self.method == "analytic":
             return self._evaluate_analytic(service, watts, acc, static_watts, rate)
@@ -468,6 +727,85 @@ class ConfigEvaluator:
             overloaded=False,
             num_instances=int(service.size),
         )
+
+    def _batch_analytic(
+        self,
+        service,
+        watts,
+        acc,
+        static_watts,
+        rates: np.ndarray,
+        valid: np.ndarray | None = None,
+        counts: np.ndarray | None = None,
+    ) -> list[Evaluation]:
+        """Row-wise analytic evaluations via the batched estimator.
+
+        ``service``/``watts``/``acc`` are ``(m,)`` (one configuration, a
+        rate grid) or ``(n, m)`` (a candidate group); ``static_watts``
+        broadcasts likewise.  Ragged groups arrive zero-padded with a
+        ``valid`` mask and per-row instance ``counts``.  Each row applies
+        :meth:`_evaluate_analytic`'s exact formulas — including the
+        saturated branch's capacity-proportional shares — so rows agree
+        with scalar evaluations to summation-order rounding.
+        """
+        rates = np.asarray(rates, dtype=np.float64)
+        est: BatchQueueEstimate = estimate_fifo_batch(
+            service, rates, self.jitter_cv, valid=valid
+        )
+        service2 = est.service_s
+        watts2 = np.broadcast_to(np.asarray(watts, dtype=np.float64), service2.shape)
+        acc2 = np.broadcast_to(np.asarray(acc, dtype=np.float64), service2.shape)
+        static = np.broadcast_to(
+            np.asarray(static_watts, dtype=np.float64), rates.shape
+        )
+        p95 = est.p95_ms()
+        over = est.overloaded
+        m = int(service2.shape[1])
+
+        per_rate = rates[:, None] * est.shares
+        inst_util = np.clip(per_rate * service2, 0.0, 1.0)
+        power_n = static + np.sum(inst_util * watts2, axis=1)
+        acc_n = np.sum(est.shares * acc2, axis=1)
+        energy_n = power_n / rates
+
+        if valid is None:
+            mu = 1.0 / service2
+        else:
+            mu = np.where(valid, 1.0 / np.where(valid, service2, 1.0), 0.0)
+        capacity = mu.sum(axis=1)
+        power_o = static + watts2.sum(axis=1)
+        shares_o = mu / capacity[:, None]
+        acc_o = np.sum(shares_o * acc2, axis=1)
+        energy_o = power_o / capacity
+
+        out = []
+        for i in range(rates.size):
+            n_inst = m if counts is None else int(counts[i])
+            if over[i]:
+                out.append(
+                    Evaluation(
+                        accuracy=float(acc_o[i]),
+                        energy_per_request_j=float(energy_o[i]),
+                        p95_ms=float("inf"),
+                        power_watts=float(power_o[i]),
+                        utilization=float(est.utilization[i]),
+                        overloaded=True,
+                        num_instances=n_inst,
+                    )
+                )
+            else:
+                out.append(
+                    Evaluation(
+                        accuracy=float(acc_n[i]),
+                        energy_per_request_j=float(energy_n[i]),
+                        p95_ms=float(p95[i]),
+                        power_watts=float(power_n[i]),
+                        utilization=float(est.utilization[i]),
+                        overloaded=False,
+                        num_instances=n_inst,
+                    )
+                )
+        return out
 
     def _evaluate_des(
         self,

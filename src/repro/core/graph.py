@@ -24,14 +24,38 @@ weight matrices directly, which is orders of magnitude faster.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import networkx as nx
 import numpy as np
 
 from repro.gpu.slices import SLICE_TYPES
-from repro.core.config import ClusterConfig
+from repro.core.config import ClusterConfig, GpuAssignment
 
 __all__ = ["ConfigGraph", "graph_edit_distance"]
+
+
+@lru_cache(maxsize=8192)
+def _assignment_weights(
+    assignment: GpuAssignment, num_variants: int
+) -> np.ndarray:
+    """One GPU's contribution to the weight matrix, memoized.
+
+    Assignments recur constantly across a search (a candidate differs from
+    its parent on one GPU), so projecting per assignment and summing the
+    cached int64 matrices reproduces the per-instance loop exactly —
+    integer adds are order-independent — at a fraction of the cost.
+    """
+    w = np.zeros((num_variants, len(SLICE_TYPES)), dtype=np.int64)
+    for slice_type, ordinal in assignment.instances():
+        if ordinal > num_variants:
+            raise ValueError(
+                f"config uses variant ordinal {ordinal} but the family has "
+                f"only {num_variants} variants"
+            )
+        w[ordinal - 1, slice_type.index] += 1
+    w.setflags(write=False)
+    return w
 
 
 @dataclass(frozen=True)
@@ -63,16 +87,14 @@ class ConfigGraph:
 
     @classmethod
     def from_config(cls, config: ClusterConfig, num_variants: int) -> "ConfigGraph":
-        """Project a concrete cluster configuration onto its graph."""
-        w = np.zeros((num_variants, len(SLICE_TYPES)), dtype=np.int64)
-        for slice_type, ordinal in config.instances():
-            if ordinal > num_variants:
-                raise ValueError(
-                    f"config uses variant ordinal {ordinal} but the family has "
-                    f"only {num_variants} variants"
-                )
-            w[ordinal - 1, slice_type.index] += 1
-        return cls(family=config.family, weights=w)
+        """Project a concrete cluster configuration onto its graph.
+
+        Memoized per ``(config, num_variants)``: graphs are frozen with
+        write-locked weights, so a search that revisits a configuration
+        (every SA move touches prev and candidate) shares one instance
+        instead of re-projecting.
+        """
+        return _graph_from_config(config, num_variants)
 
     # ------------------------------------------------------------------ #
     # graph edit distance and similarity
@@ -196,6 +218,20 @@ class ConfigGraph:
             for v, s in zip(*np.nonzero(self.weights))
         ]
         return f"ConfigGraph({self.family}; {', '.join(edges)})"
+
+
+@lru_cache(maxsize=4096)
+def _graph_from_config(config: ClusterConfig, num_variants: int) -> ConfigGraph:
+    """Memoized body of :meth:`ConfigGraph.from_config`.
+
+    Safe to share because :class:`ConfigGraph` is frozen and its weight
+    matrix is write-locked; integer per-assignment sums reproduce the
+    per-instance projection exactly.
+    """
+    w = np.zeros((num_variants, len(SLICE_TYPES)), dtype=np.int64)
+    for assignment in config.assignments:
+        w += _assignment_weights(assignment, num_variants)
+    return ConfigGraph(family=config.family, weights=w)
 
 
 def graph_edit_distance(a: ConfigGraph, b: ConfigGraph) -> int:

@@ -280,25 +280,29 @@ class FleetResult:
     @property
     def cache_stats(self) -> CacheStats:
         """Pooled evaluator cache counters across regions and evaluators."""
-        hits = misses = size = 0
+        hits = misses = size = batched = 0
         for stats in self.cache_stats_by_region.values():
             hits += stats.hits
             misses += stats.misses
             size += stats.size
-        return CacheStats(hits=hits, misses=misses, size=size)
+            batched += stats.batched
+        return CacheStats(hits=hits, misses=misses, size=size, batched=batched)
 
     @property
     def cache_stats_by_region(self) -> dict[str, CacheStats]:
         """Each region's pooled evaluator cache counters (measure + opt)."""
         out: dict[str, CacheStats] = {}
         for region, r in zip(self.regions, self.results):
-            hits = misses = size = 0
+            hits = misses = size = batched = 0
             for stats in (r.measure_cache, r.opt_cache):
                 if stats is not None:
                     hits += stats.hits
                     misses += stats.misses
                     size += stats.size
-            out[region.name] = CacheStats(hits=hits, misses=misses, size=size)
+                    batched += stats.batched
+            out[region.name] = CacheStats(
+                hits=hits, misses=misses, size=size, batched=batched
+            )
         return out
 
     # ------------------------------------------------------------------ #
@@ -394,7 +398,7 @@ class FleetResult:
     def table(self):
         headers = (
             "Region", "Share%", "Mean ci", "Carbon(g)", "AccLoss%",
-            "p95+net(ms)", "SLA%", "CacheHit%",
+            "p95+net(ms)", "SLA%", "CacheHit%", "Batch%",
         )
         by_region = self.cache_stats_by_region
         grand_total = self.total_requests
@@ -417,6 +421,7 @@ class FleetResult:
                     f"{result.p95_ms + region.net_latency_ms:.1f}",
                     f"{met / requests * 100.0:.1f}" if requests > 0 else "-",
                     f"{100 * by_region[region.name].hit_rate:.1f}",
+                    f"{100 * by_region[region.name].batch_rate:.1f}",
                 )
             )
         rows.append(
@@ -429,6 +434,7 @@ class FleetResult:
                 "-",
                 f"{self.sla_attainment * 100.0:.1f}",
                 f"{100 * self.cache_stats.hit_rate:.1f}",
+                f"{100 * self.cache_stats.batch_rate:.1f}",
             )
         )
         return headers, rows
@@ -904,17 +910,33 @@ class FleetCoordinator:
              for f in self._forecasters]
         )
 
-    def _sla_rate_fn(self):
+    def _sla_rate_fn(self, user_targets_ms: np.ndarray | None = None):
         """Per-epoch memoized (region, budget) → SLA-safe-rate bisections.
 
-        The cell planner asks for at most one budget per (origin, region)
-        pair; the memo keeps that to ``n_origins`` bisections per region
-        per epoch, each a dozen analytic evaluations.
+        Every budget the cell planner can ask region ``r`` for is of the
+        form ``user_targets_ms[r] - latency[o, r]`` (the running regional
+        budget is a min over placed pair budgets, and a min of set members
+        is a member), so when the targets are known the whole table is
+        priced in one :meth:`RegionalService.sla_safe_rates` lockstep
+        bisection per region, on first touch.  Unexpected budgets — or a
+        caller without targets — fall back to the scalar bisection.
         """
         cache: dict[tuple[int, float], float] = {}
+        tabled: set[int] = set()
+        latency = None
+        if user_targets_ms is not None:
+            latency = self.latency_matrix.latency_ms
 
         def fn(r: int, budget_ms: float) -> float:
             key = (r, round(budget_ms, 6))
+            if key not in cache and latency is not None and r not in tabled:
+                tabled.add(r)
+                budgets = np.unique(user_targets_ms[r] - latency[:, r])
+                budgets = budgets[budgets > 0.0]
+                if budgets.size:
+                    rates = self.services[r].sla_safe_rates(budgets)
+                    for b, rate in zip(budgets, rates):
+                        cache.setdefault((r, round(float(b), 6)), float(rate))
             if key not in cache:
                 cache[key] = self.services[r].sla_safe_rate(budget_ms=budget_ms)
             return cache[key]
@@ -1101,7 +1123,7 @@ class FleetCoordinator:
                         origin_rates,
                         self.latency_matrix.latency_ms,
                         user_targets,
-                        self._sla_rate_fn(),
+                        self._sla_rate_fn(user_targets),
                         measured_p95_ms=measured,
                         prev_plan=prev_plan,
                         session_keep_frac=self._session_keep,

@@ -457,8 +457,25 @@ class RegionalService:
         trimmed cluster, so the envelope honestly shrinks with the pool.
         """
         budget = self.sla_target_ms if budget_ms is None else budget_ms
-        if budget <= 0.0:
-            return 0.0
+        return float(self.sla_safe_rates(np.array([budget]), iters=iters)[0])
+
+    def sla_safe_rates(
+        self, budgets_ms: np.ndarray, iters: int = 12
+    ) -> np.ndarray:
+        """Batched :meth:`sla_safe_rate` over an array of budgets.
+
+        All budgets bisect in lockstep against one deployed configuration,
+        so each of the ``iters`` steps is a single batched estimator call
+        instead of one scalar evaluation per budget.  Every row follows
+        exactly the scalar method's probe sequence (its bracket updates
+        depend only on its own row), and the scalar method delegates here,
+        so the two are identical by construction.
+        """
+        budgets = np.asarray(budgets_ms, dtype=np.float64)
+        out = np.zeros(budgets.shape)
+        pos = budgets > 0.0
+        if not np.any(pos):
+            return out
         deployed = self.controller.deployed
         if deployed is None:
             # Nothing to bisect against yet.  Resident-grade budgets —
@@ -468,29 +485,33 @@ class RegionalService:
             # get nothing: epoch zero is no time to gamble remote traffic
             # on a configuration that hasn't been measured.
             slack = PRE_DEPLOYMENT_BUDGET_SLACK_MS
-            return (
+            out[pos & (budgets >= self.sla_target_ms - slack)] = (
                 self.awake_capacity_rate_per_s
-                if budget >= self.sla_target_ms - slack
-                else 0.0
             )
+            return out
         estimator = self.service.scheme.evaluator
 
-        def p95_at(rate: float) -> float:
-            return estimator.evaluate(deployed, rate_per_s=rate).p95_ms
+        def p95_at(rates: np.ndarray) -> np.ndarray:
+            evs = estimator.evaluate_rates(deployed, rates)
+            return np.array([e.p95_ms for e in evs])
 
-        hi = self.awake_capacity_rate_per_s
-        if p95_at(hi) <= budget:
-            return hi
-        lo = 0.01 * self.nominal_rate_per_s
-        if p95_at(lo) > budget:
-            return 0.0
-        for _ in range(iters):
-            mid = 0.5 * (lo + hi)
-            if p95_at(mid) <= budget:
-                lo = mid
-            else:
-                hi = mid
-        return lo
+        hi0 = self.awake_capacity_rate_per_s
+        lo0 = 0.01 * self.nominal_rate_per_s
+        p95_hi, p95_lo = p95_at(np.array([hi0, lo0]))
+        easy = pos & (p95_hi <= budgets)
+        out[easy] = hi0
+        active = pos & ~easy & (p95_lo <= budgets)
+        if np.any(active):
+            idx = np.nonzero(active)
+            lo = np.full(budgets.shape, lo0)
+            hi = np.full(budgets.shape, hi0)
+            for _ in range(iters):
+                mid = 0.5 * (lo[idx] + hi[idx])
+                ok = p95_at(mid) <= budgets[idx]
+                lo[idx] = np.where(ok, mid, lo[idx])
+                hi[idx] = np.where(ok, hi[idx], mid)
+            out[active] = lo[active]
+        return out
 
     def effective_p95_ms(self, service_p95_ms: float) -> float:
         """End-to-end p95 a user of this region observes."""

@@ -1,0 +1,41 @@
+"""Performance trajectory: pinned microbenchmarks + regression gating.
+
+The repo's speed claims are measured, committed and CI-guarded rather
+than asserted: :mod:`repro.perf.core` defines the pinned scenarios (an
+SA epoch, a 1k-candidate batch evaluation, a 5-region diurnal routing
+epoch) and :mod:`repro.perf.baseline` the committed-JSON schema and the
+tolerance-banded regression check that ``repro bench`` and the CI perf
+job run against ``BENCH_perf_core.json``.
+"""
+
+from repro.perf.core import (
+    ScenarioResult,
+    SuiteResult,
+    calibration_ops_per_s,
+    run_suite,
+    scenario_batch_eval_1k,
+    scenario_routing_epoch,
+    scenario_sa_epoch,
+)
+from repro.perf.baseline import (
+    DEFAULT_TOLERANCE,
+    baseline_path,
+    check_regressions,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "SuiteResult",
+    "calibration_ops_per_s",
+    "run_suite",
+    "scenario_batch_eval_1k",
+    "scenario_routing_epoch",
+    "scenario_sa_epoch",
+    "DEFAULT_TOLERANCE",
+    "baseline_path",
+    "check_regressions",
+    "load_baseline",
+    "write_baseline",
+]

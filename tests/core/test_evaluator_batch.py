@@ -1,0 +1,141 @@
+"""Batched config evaluation vs the scalar loop: equivalence + counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import base_config, uniform_config
+from repro.core.evaluator import CacheStats, ConfigEvaluator
+from repro.core.moves import MoveGenerator
+from repro.serving.workload import default_rate
+from repro.utils.rng import RngMixer
+
+RTOL = 1e-9
+
+
+def _walk(zoo, fam, n, n_gpus, seed=7):
+    """A deterministic SA-style walk of n configurations."""
+    moves = MoveGenerator(zoo=zoo, family=fam.name)
+    gen = RngMixer(seed=seed).fork("batch-walk", 0)
+    configs = [base_config(fam, n_gpus)]
+    while len(configs) < n:
+        nxt = moves.propose(configs[-1], gen)
+        if nxt is None:  # pragma: no cover
+            break
+        configs.append(nxt)
+    return configs
+
+
+def _fresh(zoo, perf, n_gpus=4, rate=None):
+    fam = zoo.family("efficientnet")
+    if rate is None:
+        rate = default_rate(fam, perf, n_gpus)
+    return ConfigEvaluator(
+        zoo=zoo, perf=perf, family=fam.name, rate_per_s=rate, n_gpus=n_gpus,
+        method="analytic",
+    )
+
+
+def _assert_evals_match(batch, scalar):
+    assert len(batch) == len(scalar)
+    for b, s in zip(batch, scalar):
+        assert b.overloaded == s.overloaded
+        assert b.num_instances == s.num_instances
+        np.testing.assert_allclose(b.accuracy, s.accuracy, rtol=RTOL)
+        np.testing.assert_allclose(
+            b.energy_per_request_j, s.energy_per_request_j, rtol=RTOL
+        )
+        np.testing.assert_allclose(b.power_watts, s.power_watts, rtol=RTOL)
+        np.testing.assert_allclose(b.utilization, s.utilization, rtol=RTOL)
+        if s.overloaded:
+            assert b.p95_ms == s.p95_ms == np.inf
+        else:
+            np.testing.assert_allclose(b.p95_ms, s.p95_ms, rtol=RTOL)
+
+
+class TestEvaluateBatch:
+    def test_matches_scalar_loop_on_walk(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        configs = _walk(zoo, fam, 60, 4)
+        batch_ev = _fresh(zoo, perf)
+        scalar_ev = _fresh(zoo, perf)
+        batch = batch_ev.evaluate_batch(configs)
+        scalar = [scalar_ev.evaluate(c) for c in configs]
+        _assert_evals_match(batch, scalar)
+
+    def test_counters_identical_to_scalar(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        configs = _walk(zoo, fam, 40, 4)
+        configs = configs + configs[:10]  # duplicates → in-batch hits
+        batch_ev = _fresh(zoo, perf)
+        scalar_ev = _fresh(zoo, perf)
+        batch_ev.evaluate_batch(configs)
+        for c in configs:
+            scalar_ev.evaluate(c)
+        b, s = batch_ev.cache_stats, scalar_ev.cache_stats
+        assert (b.hits, b.misses) == (s.hits, s.misses)
+        assert b.batched == b.misses  # every miss went through the batch path
+        assert s.batched == 0
+
+    def test_second_batch_is_all_hits(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        configs = _walk(zoo, fam, 20, 4)
+        ev = _fresh(zoo, perf)
+        first = ev.evaluate_batch(configs)
+        misses = ev.cache_stats.misses
+        second = ev.evaluate_batch(configs)
+        assert ev.cache_stats.misses == misses
+        assert [id(a) for a in first] == [id(b) for b in second]  # cached objects
+
+    def test_awake_gated_batch_matches_scalar(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        configs = _walk(zoo, fam, 30, 4)
+        batch_ev = _fresh(zoo, perf)
+        scalar_ev = _fresh(zoo, perf)
+        batch_ev.set_awake_gpus(2)
+        scalar_ev.set_awake_gpus(2)
+        batch = batch_ev.evaluate_batch(configs)
+        scalar = [scalar_ev.evaluate(c) for c in configs]
+        _assert_evals_match(batch, scalar)
+        # Gating shrinks capacity: never more instances than ungated.
+        full = _fresh(zoo, perf)
+        ungated = full.evaluate_batch(configs)
+        assert all(
+            b.num_instances <= u.num_instances
+            for b, u in zip(batch, ungated)
+        )
+
+    def test_overloaded_candidates_match(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        configs = _walk(zoo, fam, 15, 4)
+        # A rate far past any candidate's capacity: every row overloads.
+        batch_ev = _fresh(zoo, perf, rate=1e7)
+        scalar_ev = _fresh(zoo, perf, rate=1e7)
+        batch = batch_ev.evaluate_batch(configs)
+        scalar = [scalar_ev.evaluate(c) for c in configs]
+        assert all(b.overloaded for b in batch)
+        _assert_evals_match(batch, scalar)
+
+    def test_family_and_size_validation(self, zoo, perf):
+        ev = _fresh(zoo, perf)
+        with pytest.raises(ValueError, match="evaluator serves"):
+            ev.evaluate_batch([base_config(zoo.family("albert"), 4)])
+        with pytest.raises(ValueError, match="sized for"):
+            ev.evaluate_batch([base_config(zoo.family("efficientnet"), 3)])
+
+
+class TestEvaluateRates:
+    def test_matches_scalar_over_rate_grid(self, zoo, perf):
+        fam = zoo.family("efficientnet")
+        config = uniform_config(fam, 4, 3, 2)
+        rates = np.linspace(5.0, 400.0, 9)
+        batch_ev = _fresh(zoo, perf)
+        scalar_ev = _fresh(zoo, perf)
+        batch = batch_ev.evaluate_rates(config, rates)
+        scalar = [scalar_ev.evaluate(config, float(r)) for r in rates]
+        _assert_evals_match(batch, scalar)
+
+
+class TestCacheStatsBatchRate:
+    def test_batch_rate(self):
+        assert CacheStats(hits=3, misses=4, size=4, batched=2).batch_rate == 0.5
+        assert CacheStats(hits=0, misses=0, size=0).batch_rate == 0.0

@@ -213,13 +213,24 @@ class TestDemandReporting:
         pooled = result.cache_stats
         assert pooled.hits == sum(s.hits for s in stats.values())
         assert pooled.misses == sum(s.misses for s in stats.values())
+        assert pooled.batched == sum(s.batched for s in stats.values())
         for s in stats.values():
             assert s.misses > 0
+
+    def test_batched_evaluations_surface_in_summary(self, demand_runs):
+        """Demand-mode routing drives the batched SLA bisections, so the
+        batch counter must be non-zero and bounded by the misses."""
+        _, result = demand_runs["carbon-greedy"]
+        pooled = result.cache_stats
+        assert pooled.batched > 0
+        assert pooled.batched <= pooled.misses
+        assert 0.0 < pooled.batch_rate <= 1.0
 
     def test_region_table_has_cache_column(self, demand_runs):
         _, result = demand_runs["carbon-greedy"]
         headers, rows = result.table()
         assert "CacheHit%" in headers
+        assert "Batch%" in headers
         assert len(rows) == len(DEMAND_REGIONS) + 1
         assert len(headers) == len(rows[0])
 

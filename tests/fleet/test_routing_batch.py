@@ -1,0 +1,231 @@
+"""Vectorized routing vs the retained scalar references, property-tested.
+
+`_water_fill` and `plan_origin_cells` were rewritten as array programs;
+`_water_fill_scalar` / `_plan_origin_cells_scalar` keep the original
+per-cell loops as the semantic reference.  Agreement must be within
+summation-order noise (<= 1e-9 relative, typically ~1e-14).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.routing import (
+    RoutingContext,
+    _plan_origin_cells_scalar,
+    _water_fill,
+    _water_fill_scalar,
+    plan_origin_cells,
+)
+
+RTOL = 1e-9
+
+
+def make_ctx(
+    ci=(300.0, 150.0, 40.0),
+    pue=None,
+    latency=(5.0, 20.0, 40.0),
+    nominal=(30.0, 30.0, 30.0),
+    capacity=None,
+    sla_caps=None,
+    floor_share=0.05,
+    global_rate=None,
+):
+    n = len(ci)
+    nominal = np.asarray(nominal, dtype=np.float64)
+    return RoutingContext(
+        t_h=0.0,
+        global_rate_per_s=(
+            float(nominal.sum()) if global_rate is None else global_rate
+        ),
+        ci=np.asarray(ci, dtype=np.float64),
+        pue=np.asarray(pue if pue is not None else [1.5] * n),
+        net_latency_ms=np.asarray(latency, dtype=np.float64),
+        nominal_rates=nominal,
+        capacity_rates=np.asarray(
+            capacity if capacity is not None else nominal * 1.3
+        ),
+        sla_cap_rates=np.asarray(
+            sla_caps if sla_caps is not None else [np.inf] * n
+        ),
+        floor_rates=floor_share * nominal,
+    )
+
+
+region_counts = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def fill_contexts(draw):
+    n = draw(region_counts)
+    nominal = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    ci = draw(
+        st.lists(
+            st.floats(min_value=10.0, max_value=500.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    cap_mult = draw(st.floats(min_value=1.0, max_value=2.0))
+    # Spans under-, exactly- and over-subscribed fills (spill path).
+    load_frac = draw(st.floats(min_value=0.1, max_value=1.8))
+    sla_frac = draw(st.one_of(st.none(), st.floats(0.3, 1.5)))
+    nominal_arr = np.asarray(nominal)
+    caps = cap_mult * nominal_arr
+    ctx = make_ctx(
+        ci=ci,
+        latency=np.linspace(5.0, 50.0, n),
+        nominal=nominal_arr,
+        capacity=caps,
+        sla_caps=None if sla_frac is None else sla_frac * caps,
+        floor_share=draw(st.floats(min_value=0.0, max_value=0.2)),
+        global_rate=load_frac * float(caps.sum()),
+    )
+    return ctx
+
+
+class TestWaterFill:
+    @given(ctx=fill_contexts(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scalar(self, ctx, seed):
+        order = np.random.default_rng(seed).permutation(len(ctx.ci))
+        vec = _water_fill(ctx, order)
+        ref = _water_fill_scalar(ctx, order)
+        np.testing.assert_allclose(vec, ref, rtol=RTOL, atol=1e-12)
+
+    def test_single_region_bitwise(self):
+        ctx = make_ctx(
+            ci=(200.0,), latency=(0.0,), nominal=(37.0,), global_rate=31.5
+        )
+        order = np.array([0])
+        assert list(_water_fill(ctx, order)) == list(
+            _water_fill_scalar(ctx, order)
+        )
+
+    def test_overload_spills_like_scalar(self):
+        ctx = make_ctx(global_rate=1e4)
+        order = np.argsort(ctx.ci, kind="stable")
+        vec = _water_fill(ctx, order)
+        ref = _water_fill_scalar(ctx, order)
+        np.testing.assert_allclose(vec, ref, rtol=RTOL)
+        assert vec.sum() == pytest.approx(1e4, rel=1e-12)
+
+
+@st.composite
+def cell_problems(draw):
+    n_r = draw(st.integers(min_value=1, max_value=4))
+    n_o = draw(st.integers(min_value=1, max_value=6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    origin_rates = rng.uniform(0.0, 20.0, n_o)
+    if draw(st.booleans()):
+        origin_rates[rng.integers(0, n_o)] = 0.0  # zero-demand origin
+    latency = rng.uniform(1.0, 120.0, (n_o, n_r))
+    targets = rng.uniform(60.0, 250.0, n_r)
+    nominal = rng.uniform(5.0, 40.0, n_r)
+    load_frac = draw(st.floats(min_value=0.2, max_value=1.6))
+    cap_scale = draw(st.floats(min_value=0.3, max_value=2.0))
+    ctx = make_ctx(
+        ci=rng.uniform(20.0, 400.0, n_r),
+        latency=rng.uniform(1.0, 40.0, n_r),
+        nominal=nominal,
+        capacity=cap_scale * nominal * 1.5,
+        global_rate=max(float(origin_rates.sum()), 1e-9),
+    )
+    rate_scale = draw(st.floats(min_value=0.2, max_value=2.0))
+
+    def sla_rate_fn(r, budget_ms):
+        # Deterministic, budget-monotone admissible-rate oracle.
+        return rate_scale * nominal[r] * min(1.0, budget_ms / 100.0)
+
+    measured = (
+        rng.uniform(20.0, 200.0, n_r) if draw(st.booleans()) else None
+    )
+    keep = draw(st.floats(min_value=0.0, max_value=1.0))
+    floor = draw(st.floats(min_value=0.0, max_value=0.3))
+    prev = rng.uniform(0.0, 10.0, (n_o, n_r)) if draw(st.booleans()) else None
+    del load_frac
+    return (
+        ctx, origin_rates, latency, targets, sla_rate_fn,
+        measured, prev, keep, floor,
+    )
+
+
+class TestPlanOriginCells:
+    @given(problem=cell_problems())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar(self, problem):
+        (
+            ctx, origin_rates, latency, targets, sla_rate_fn,
+            measured, prev, keep, floor,
+        ) = problem
+        order = np.argsort(ctx.ci, kind="stable")
+        vec = plan_origin_cells(
+            ctx, order, origin_rates, latency, targets, sla_rate_fn,
+            measured_p95_ms=measured, prev_plan=prev,
+            session_keep_frac=keep, resident_floor_share=floor,
+        )
+        ref = _plan_origin_cells_scalar(
+            ctx, order, origin_rates, latency, targets, sla_rate_fn,
+            measured_p95_ms=measured, prev_plan=prev,
+            session_keep_frac=keep, resident_floor_share=floor,
+        )
+        np.testing.assert_allclose(vec, ref, rtol=RTOL, atol=1e-12)
+        # Conservation: row sums equal origin demand on both paths.
+        np.testing.assert_allclose(
+            vec.sum(axis=1), origin_rates, rtol=1e-9, atol=1e-9
+        )
+
+    def test_zero_demand_everywhere(self):
+        ctx = make_ctx()
+        order = np.argsort(ctx.ci, kind="stable")
+        origin_rates = np.zeros(4)
+        latency = np.full((4, 3), 10.0)
+        targets = np.full(3, 150.0)
+        vec = plan_origin_cells(
+            ctx, order, origin_rates, latency, targets,
+            lambda r, b: 100.0,
+        )
+        ref = _plan_origin_cells_scalar(
+            ctx, order, origin_rates, latency, targets,
+            lambda r, b: 100.0,
+        )
+        assert (vec == 0.0).all()
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_overload_spill_matches_scalar(self):
+        """Demand far past every region's cap exercises the spill phase."""
+        ctx = make_ctx(global_rate=1e4)
+        order = np.argsort(ctx.ci, kind="stable")
+        origin_rates = np.full(5, 2e3)
+        latency = np.linspace(5.0, 80.0, 15).reshape(5, 3)
+        targets = np.full(3, 120.0)
+        vec = plan_origin_cells(
+            ctx, order, origin_rates, latency, targets,
+            lambda r, b: 20.0 * min(1.0, b / 100.0),
+        )
+        ref = _plan_origin_cells_scalar(
+            ctx, order, origin_rates, latency, targets,
+            lambda r, b: 20.0 * min(1.0, b / 100.0),
+        )
+        np.testing.assert_allclose(vec, ref, rtol=RTOL)
+        np.testing.assert_allclose(vec.sum(axis=1), origin_rates, rtol=1e-12)
+
+    def test_single_region_matches_scalar_bitwise(self):
+        ctx = make_ctx(ci=(200.0,), latency=(5.0,), nominal=(40.0,))
+        order = np.array([0])
+        origin_rates = np.array([7.0, 11.0, 0.0])
+        latency = np.array([[10.0], [60.0], [140.0]])
+        targets = np.array([150.0])
+        args = (
+            ctx, order, origin_rates, latency, targets,
+            lambda r, b: 40.0 * min(1.0, b / 100.0),
+        )
+        vec = plan_origin_cells(*args)
+        ref = _plan_origin_cells_scalar(*args)
+        assert vec.tolist() == ref.tolist()  # exact
