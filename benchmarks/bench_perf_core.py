@@ -23,6 +23,7 @@ from repro.perf import (
     scenario_batch_eval_1k,
     scenario_routing_epoch,
     scenario_sa_epoch,
+    scenario_shifting_epoch,
 )
 
 #: The ISSUE-pinned floor on the headline scenario (strict fidelity only;
@@ -58,6 +59,17 @@ def test_routing_epoch(benchmark):
     result = once(benchmark, scenario_routing_epoch, FIDELITY)
     print(
         f"\nrouting_epoch: {result.ops_per_s:,.0f} epochs/s, "
+        f"{result.speedup_vs_scalar:.1f}x vs scalar"
+    )
+    if strict():
+        assert result.speedup_vs_scalar > 1.0
+
+
+def test_shifting_epoch(benchmark):
+    """A day of fine-grained batch-slot planning vs the scalar reference."""
+    result = once(benchmark, scenario_shifting_epoch, FIDELITY)
+    print(
+        f"\nshifting_epoch: {result.ops_per_s:,.0f} epochs/s, "
         f"{result.speedup_vs_scalar:.1f}x vs scalar"
     )
     if strict():

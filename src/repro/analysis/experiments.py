@@ -25,6 +25,7 @@ fleet       multi-region load shifting (beyond the paper: Sec. 6 futures)
 demand      geo-diurnal demand + forecast-driven proactive routing
 gating      elastic GPU capacity: always-on vs reactive vs forecast-pre-wake
 hetero      heterogeneous GPU fleets: efficiency-aware vs intensity routing
+shifting    temporal load shifting: deferrable batch into clean epochs
 ==========  ===========================================================
 
 ``fig16``, ``fleet``, ``demand``, ``gating`` and ``hetero`` run through
@@ -66,6 +67,7 @@ from repro.models.zoo import ModelZoo, default_zoo
 from repro.serving.sla import SlaPolicy
 from repro.serving.workload import default_rate
 from repro.scenarios import (
+    BatchSpec,
     DemandSpec,
     GatingSpec,
     RegionSpec,
@@ -99,6 +101,7 @@ __all__ = [
     "demand_routing",
     "gating_elasticity",
     "hetero_fleet",
+    "temporal_shifting",
     "savings_estimate",
     "EXPERIMENT_REGISTRY",
 ]
@@ -1687,6 +1690,203 @@ def savings_estimate(
         kg_co2_per_day=kg_day,
         car_km_equivalent=kg_day / KG_CO2_PER_CAR_KM,
         coal_kg_equivalent=kg_day / KG_CO2_PER_KG_COAL,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Shifting — temporal load shifting (beyond the paper)
+# --------------------------------------------------------------------- #
+
+#: The shifting experiment's deferrable workload: ~16% of the default
+#: two-region fleet's nominal rate (about half its leftover capacity
+#: envelope, so deadlines stay feasible), each job a hundred-request
+#: rescoring lot due within eight hours of arriving.
+SHIFTING_JOBS_PER_H = 432.0
+SHIFTING_REQUESTS_PER_JOB = 100.0
+SHIFTING_DEADLINE_H = 8.0
+
+#: Comparison rows: label -> (router, batch?, defer?, gating mode).
+#: ``spatial-only`` admits every lot the epoch it arrives (the carbon
+#: lever is *where*); ``temporal-only`` keeps the static split (the lever
+#: is *when*); ``joint`` runs both.  The gated pair is the headline
+#: interplay: ``gated no-batch`` sleeps GPUs through demand valleys,
+#: ``joint+gating`` shows batch holds keeping them awake — but *clean*.
+SHIFTING_ROWS: tuple[tuple[str, str, bool, bool, str | None], ...] = (
+    ("no-batch", "carbon-greedy", False, True, None),
+    ("spatial-only", "carbon-greedy", True, False, None),
+    ("temporal-only", "static", True, True, None),
+    ("joint", "carbon-greedy", True, True, None),
+    ("gated no-batch", "carbon-greedy", False, True, "reactive"),
+    ("joint+gating", "carbon-greedy", True, True, "reactive"),
+)
+
+
+@dataclass(frozen=True)
+class ShiftingResult:
+    """Spatial-only vs temporal-only vs joint shifting of batch work.
+
+    The headline property is :attr:`joint_saving_vs_spatial_pct` — the
+    fleet carbon the temporal scheduler saves over admitting the *same*
+    batch workload the epoch it arrives — plus the guarantee columns:
+    batch deadline attainment and interactive SLA, neither of which joint
+    shifting may degrade.
+    """
+
+    application: str
+    region_names: tuple[str, ...]
+    labels: tuple[str, ...]
+    total_carbon_g: dict[str, float]
+    sla_attainment: dict[str, float]
+    accuracy_loss_pct: dict[str, float]
+    batch_attainment: dict[str, float]
+    batch_completed: dict[str, float]
+    batch_carbon_g_per_request: dict[str, float]
+    mean_shift_h: dict[str, float]
+    mean_awake_fraction: dict[str, float]
+
+    @property
+    def joint_saving_vs_spatial_pct(self) -> float:
+        """Fleet carbon saved by shifting *when*, on top of *where*."""
+        spatial = self.total_carbon_g["spatial-only"]
+        joint = self.total_carbon_g["joint"]
+        return (1.0 - joint / spatial) * 100.0
+
+    @property
+    def min_batch_attainment(self) -> float:
+        """Worst batch deadline attainment across rows that ran batch."""
+        decided = [
+            v for v in self.batch_attainment.values() if np.isfinite(v)
+        ]
+        return min(decided) if decided else float("nan")
+
+    def table(self):
+        headers = (
+            "Scenario", "Carbon(g)", "SLA%", "AccLoss%",
+            "BatchReq", "BatchOnTime%", "Batch g/req", "Shift(h)", "Awake%",
+        )
+        rows = []
+        for label in self.labels:
+            batch_att = self.batch_attainment[label]
+            has_batch = np.isfinite(batch_att)
+            rows.append(
+                (
+                    label,
+                    f"{self.total_carbon_g[label]:,.0f}",
+                    f"{100 * self.sla_attainment[label]:.1f}",
+                    f"{self.accuracy_loss_pct[label]:.2f}",
+                    f"{self.batch_completed[label]:,.0f}" if has_batch else "-",
+                    f"{100 * batch_att:.1f}" if has_batch else "-",
+                    (
+                        f"{self.batch_carbon_g_per_request[label]:.2e}"
+                        if has_batch
+                        else "-"
+                    ),
+                    f"{self.mean_shift_h[label]:.2f}" if has_batch else "-",
+                    f"{100 * self.mean_awake_fraction[label]:.1f}",
+                )
+            )
+        rows.append(
+            (
+                "joint vs spatial",
+                f"{self.joint_saving_vs_spatial_pct:.2f}% saved",
+                "-", "-", "-", "-", "-", "-", "-",
+            )
+        )
+        return headers, rows
+
+
+@experiment("shifting", "temporal load shifting: deferrable batch into clean epochs")
+def temporal_shifting(
+    runner: ExperimentRunner | None = None,
+    fidelity: str = "default",
+    seed: int = 0,
+    application: str = "classification",
+    region_names: tuple[str, ...] = ("nordic-hydro", "us-ciso"),
+    scheme: str = "clover",
+    n_gpus: int = 2,
+    duration_h: float = 48.0,
+    jobs_per_h: float = SHIFTING_JOBS_PER_H,
+    requests_per_job: float = SHIFTING_REQUESTS_PER_JOB,
+    deadline_h: float = SHIFTING_DEADLINE_H,
+) -> ShiftingResult:
+    """Temporal load shifting: the *when* lever next to the *where* lever.
+
+    One deferrable batch class rides the diurnal interactive workload on
+    a clean/dirty two-region fleet.  The expected shape:
+
+    * **spatial-only** (admit on arrival) already prices batch into the
+      cleanest *region* with leftover capacity, but must take whatever
+      the grid looks like when a lot lands.
+    * **joint** holds lots back until the forecast says the window is
+      clean (or the deadline forces them), so fleet carbon drops below
+      spatial-only at the *same* 100% deadline attainment and no
+      interactive SLA loss.
+    * **gated no-batch** vs **joint+gating** is the headline interplay:
+      reactive gating sleeps GPUs through demand valleys, and the
+      scheduler's hold hints keep them awake exactly where the batch
+      backlog needs the clean window — batch work keeps the fleet awake
+      but *clean*.
+    """
+    runner = runner or ExperimentRunner()
+    results = {}
+    for label, router, has_batch, defer, gating in SHIFTING_ROWS:
+        results[label] = runner.run_scenario(
+            ScenarioSpec(
+                regions=tuple(RegionSpec(name=n) for n in region_names),
+                application=application,
+                scheme=scheme,
+                fidelity=fidelity,
+                seed=seed,
+                n_gpus=n_gpus,
+                duration_h=duration_h,
+                routing=RoutingSpec(router=router),
+                demand=DemandSpec(
+                    kind="diurnal",
+                    ramp_share_per_h=DEMAND_RAMP_SHARE_PER_H,
+                    drain_share_per_h=DEMAND_DRAIN_SHARE_PER_H,
+                ),
+                gating=GatingSpec(mode=gating),
+                batch=(
+                    BatchSpec(
+                        jobs_per_h=jobs_per_h,
+                        requests_per_job=requests_per_job,
+                        deadline_h=deadline_h,
+                        defer=(None if defer else False),
+                    )
+                    if has_batch
+                    else BatchSpec()
+                ),
+            )
+        )
+    labels = tuple(label for label, *_ in SHIFTING_ROWS)
+    return ShiftingResult(
+        application=application,
+        region_names=region_names,
+        labels=labels,
+        total_carbon_g={k: r.total_carbon_g for k, r in results.items()},
+        sla_attainment={k: r.sla_attainment for k, r in results.items()},
+        accuracy_loss_pct={
+            k: r.accuracy_loss_pct for k, r in results.items()
+        },
+        batch_attainment={
+            k: (r.batch_deadline_attainment if r.has_batch else float("nan"))
+            for k, r in results.items()
+        },
+        batch_completed={
+            k: (r.batch_completed_requests if r.has_batch else float("nan"))
+            for k, r in results.items()
+        },
+        batch_carbon_g_per_request={
+            k: (r.batch_carbon_g_per_request if r.has_batch else float("nan"))
+            for k, r in results.items()
+        },
+        mean_shift_h={
+            k: (r.mean_shift_h if r.has_batch else float("nan"))
+            for k, r in results.items()
+        },
+        mean_awake_fraction={
+            k: r.mean_awake_fraction for k, r in results.items()
+        },
     )
 
 

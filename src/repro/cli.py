@@ -256,6 +256,41 @@ def build_parser() -> argparse.ArgumentParser:
             "static draw over the wake window"
         ),
     )
+    from repro.shifting import ARRIVAL_PROFILES
+
+    fleet.add_argument(
+        "--batch",
+        type=float,
+        default=None,
+        metavar="JOBS_PER_H",
+        help=(
+            "add a deferrable batch workload at this mean arrival rate "
+            "(jobs/hour); the temporal scheduler shifts it into "
+            "forecast-clean epochs.  Default: interactive traffic only"
+        ),
+    )
+    fleet.add_argument(
+        "--batch-requests-per-job",
+        type=float,
+        default=None,
+        dest="batch_requests_per_job",
+        help="inference requests per batch job (default: 1)",
+    )
+    fleet.add_argument(
+        "--batch-deadline-h",
+        type=float,
+        default=None,
+        dest="batch_deadline_h",
+        help="hours each batch job may wait before it must complete "
+        "(default: 8)",
+    )
+    fleet.add_argument(
+        "--batch-arrival",
+        default=None,
+        choices=ARRIVAL_PROFILES,
+        dest="batch_arrival",
+        help="batch arrival profile (default: uniform)",
+    )
     bench = sub.add_parser(
         "bench", help="run the pinned perf scenarios / check the baseline"
     )
@@ -340,6 +375,23 @@ def _print_fleet_result(report, title: str) -> None:
         print()
         headers, rows = report.origin_table()
         print(format_table(headers, rows, title="-- demand origins --"))
+    if report.has_batch:
+        attainment = report.batch_deadline_attainment
+        shift = report.mean_shift_h
+        print(
+            f"  batch deadlines: "
+            + (f"{100 * attainment:.1f}% on time"
+               if attainment == attainment else "-")
+            + f" ({report.batch_completed_requests:,.0f} served, "
+            f"{report.batch_pending_requests:,.0f} queued)"
+        )
+        print(
+            "  batch shift:     "
+            + (f"{shift:.2f} h mean" if shift == shift else "-")
+        )
+        print()
+        headers, rows = report.batch_table()
+        print(format_table(headers, rows, title="-- batch workload --"))
 
 
 def _load_spec_for_cli(path: str, fidelity: str | None, seed: int | None):
@@ -594,6 +646,7 @@ def fleet_args_to_spec(args: argparse.Namespace):
     drift from the declarative one.
     """
     from repro.scenarios import (
+        BatchSpec,
         DemandSpec,
         GatingSpec,
         RegionSpec,
@@ -632,6 +685,16 @@ def fleet_args_to_spec(args: argparse.Namespace):
             wake_energy_j=(
                 args.wake_energy_j if args.gating is not None else None
             ),
+        ),
+        batch=BatchSpec(
+            jobs_per_h=args.batch,
+            requests_per_job=(
+                args.batch_requests_per_job if args.batch is not None else None
+            ),
+            deadline_h=(
+                args.batch_deadline_h if args.batch is not None else None
+            ),
+            arrival=args.batch_arrival if args.batch is not None else None,
         ),
     )
 

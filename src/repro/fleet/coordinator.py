@@ -38,6 +38,18 @@ lookahead hints.  Sleeping GPUs are charged the power model's sleep-state
 watts and wake transitions their reload energy, folded into the per-epoch
 records so every carbon number sees them.  ``gating=None`` (default) is
 the always-on fleet, bit-for-bit the PR-1/PR-2 behaviour.
+
+With a deferrable batch class (``batch=``) the epoch becomes the full
+**gate → route → admit-batch → wake → step** pipeline: after interactive
+routing the :class:`~repro.shifting.TemporalScheduler` releases queued
+batch work into the epoch's *leftover* awake, SLA-safe capacity — only
+when the epoch is forecast-clean relative to the windows still inside
+each lot's deadline, or when a deadline forces it — and its hold hints
+ask the capacity managers to keep GPUs awake through clean valleys
+instead of sleeping past them.  Batch traffic rides the same
+``service.step`` rates as interactive traffic, so the pool-aware
+evaluators price its energy and carbon with no second accounting path.
+``batch=None`` (default) leaves every earlier pipeline bit-for-bit.
 """
 
 from __future__ import annotations
@@ -74,6 +86,7 @@ from repro.fleet.routing import (
 from repro.models.perf import PerfModel
 from repro.models.zoo import ModelZoo, default_zoo
 from repro.serving.workload import DEFAULT_BASE_UTILIZATION
+from repro.shifting import BatchCompletion, BatchJobClass, TemporalScheduler
 
 __all__ = [
     "FleetCoordinator",
@@ -158,6 +171,16 @@ class FleetResult:
     user_sla_target_ms: float | None = None
     #: Elastic-capacity mode the run used (``None``: always-on).
     gating_name: str | None = None
+    #: Deferrable batch class the run carried (``None``: interactive only).
+    batch_name: str | None = None
+    #: Per-epoch (epoch x region) admitted batch rates (req/s).
+    batch_rates: np.ndarray | None = None
+    #: Per-region tuples of :class:`~repro.shifting.BatchCompletion`.
+    batch_completions: tuple[tuple[BatchCompletion, ...], ...] = ()
+    #: Batch requests still queued when the run ended.
+    batch_pending_requests: float = 0.0
+    #: Queued batch requests already past deadline at the end of the run.
+    batch_overdue_requests: float = 0.0
 
     # ------------------------------------------------------------------ #
     # global totals
@@ -392,6 +415,114 @@ class FleetResult:
         return float(met.sum()) / grand if grand > 0 else 0.0
 
     # ------------------------------------------------------------------ #
+    # batch-workload views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_batch(self) -> bool:
+        return self.batch_name is not None
+
+    def _require_batch(self) -> None:
+        if not self.has_batch:
+            raise ValueError(
+                "this fleet ran no batch class; batch views need batch= "
+                "(or a [batch] spec section)"
+            )
+
+    @property
+    def _epoch_s(self) -> float:
+        """Epoch length in seconds (every region shares it)."""
+        return self.duration_h * 3600.0 / len(self.results[0].epochs)
+
+    @property
+    def batch_completed_requests(self) -> float:
+        """Batch requests actually admitted and served during the run."""
+        self._require_batch()
+        return float(
+            sum(c.requests for per in self.batch_completions for c in per)
+        )
+
+    @property
+    def batch_on_time_requests(self) -> float:
+        self._require_batch()
+        return float(
+            sum(
+                c.requests
+                for per in self.batch_completions
+                for c in per
+                if c.on_time
+            )
+        )
+
+    @property
+    def batch_deadline_attainment(self) -> float:
+        """Fraction of due batch work that met its deadline.
+
+        The denominator counts every request whose deadline has been
+        decided: completions plus still-queued overdue work.  Requests
+        queued but not yet due don't count either way; a run with no due
+        work yet has no defined attainment (NaN).
+        """
+        self._require_batch()
+        decided = self.batch_completed_requests + self.batch_overdue_requests
+        return (
+            self.batch_on_time_requests / decided
+            if decided > 0
+            else float("nan")
+        )
+
+    @property
+    def batch_carbon_g_per_request(self) -> float:
+        """Carbon attributed to batch traffic, per batch request.
+
+        Batch requests ride the same epoch rates as interactive ones, so
+        each epoch's carbon is attributed pro-rata by the batch share of
+        the epoch's served rate — exactly the marginal pricing the
+        pool-aware evaluators already applied.
+        """
+        self._require_batch()
+        total_req = total_carbon = 0.0
+        for j, result in enumerate(self.results):
+            for i, e in enumerate(result.epochs):
+                batch_rate = float(self.batch_rates[i, j])
+                if batch_rate <= 0.0 or e.rate_per_s <= 0.0:
+                    continue
+                share = min(1.0, batch_rate / e.rate_per_s)
+                total_carbon += e.carbon_g * share
+                total_req += e.requests * share
+        return total_carbon / total_req if total_req > 0 else float("nan")
+
+    @property
+    def mean_shift_h(self) -> float:
+        """Request-weighted mean hours batch work waited before running."""
+        self._require_batch()
+        total = self.batch_completed_requests
+        if total <= 0:
+            return float("nan")
+        moved = sum(
+            c.requests * c.age_h for per in self.batch_completions for c in per
+        )
+        return float(moved / total)
+
+    def shift_histogram(self, bin_h: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """How far batch work moved: ``(bin_edges_h, requests)`` arrays.
+
+        Bin ``k`` counts the requests admitted between ``k * bin_h`` and
+        ``(k + 1) * bin_h`` hours after arriving; the edges array has one
+        more entry than the counts, ``numpy.histogram`` style.
+        """
+        self._require_batch()
+        if bin_h <= 0.0:
+            raise ValueError(f"histogram bin must be positive, got {bin_h}")
+        ages = [c.age_h for per in self.batch_completions for c in per]
+        weights = [c.requests for per in self.batch_completions for c in per]
+        top = max(ages, default=0.0)
+        n_bins = max(1, int(np.ceil((top + 1e-9) / bin_h)))
+        edges = np.arange(n_bins + 1, dtype=np.float64) * bin_h
+        counts, _ = np.histogram(ages, bins=edges, weights=weights)
+        return edges, counts
+
+    # ------------------------------------------------------------------ #
     # rendering
     # ------------------------------------------------------------------ #
 
@@ -473,6 +604,48 @@ class FleetResult:
             )
         return headers, rows
 
+    def batch_table(self):
+        """Per-region batch-workload summary: volume, shift, deadlines.
+
+        Undefined metrics (a region that carried no batch work, or a run
+        whose due work is empty) render as ``"-"`` so the columns stay
+        deterministic-width regardless of scenario shape.
+        """
+        self._require_batch()
+        headers = (
+            "Region", "BatchReq", "BatchShare%", "MeanShift(h)", "OnTime%",
+        )
+        grand = self.batch_completed_requests
+        rows = []
+        for j, region in enumerate(self.regions):
+            per = self.batch_completions[j]
+            requests = float(sum(c.requests for c in per))
+            if requests <= 0:
+                rows.append((region.name, "0", "0.0", "-", "-"))
+                continue
+            on_time = float(sum(c.requests for c in per if c.on_time))
+            shift = sum(c.requests * c.age_h for c in per) / requests
+            rows.append(
+                (
+                    region.name,
+                    f"{requests:,.0f}",
+                    f"{requests / grand * 100.0:.1f}" if grand > 0 else "-",
+                    f"{shift:.2f}",
+                    f"{on_time / requests * 100.0:.1f}",
+                )
+            )
+        attainment = self.batch_deadline_attainment
+        rows.append(
+            (
+                "fleet",
+                f"{grand:,.0f}",
+                "100.0" if grand > 0 else "-",
+                f"{self.mean_shift_h:.2f}" if grand > 0 else "-",
+                f"{attainment * 100.0:.1f}" if np.isfinite(attainment) else "-",
+            )
+        )
+        return headers, rows
+
 
 class FleetCoordinator:
     """Runs N regional services under one router and one global workload."""
@@ -488,6 +661,7 @@ class FleetCoordinator:
         drain_share_per_h: float | None = None,
         forecaster: str = "diurnal",
         gating: GatingPolicy | str | None = None,
+        batch: BatchJobClass | None = None,
     ) -> None:
         if not services:
             raise ValueError("a fleet needs at least one region")
@@ -651,6 +825,21 @@ class FleetCoordinator:
                 )
                 for s in self.services
             ]
+        # Temporal load shifting: a deferrable batch class turns the
+        # epoch into gate→route→admit-batch→wake→step.  The scheduler
+        # gets its own forecaster bank (any router may pair with it, so
+        # it cannot borrow the router's) over the same regional traces.
+        self.batch = batch
+        self._batch_scheduler = None
+        self._batch_forecasters = None
+        if batch is not None:
+            self._batch_scheduler = TemporalScheduler(
+                batch, self.step_s, tuple(names)
+            )
+            self._batch_forecasters = [
+                make_forecaster(forecaster, s.region.trace)
+                for s in self.services
+            ]
 
     @classmethod
     def create(
@@ -676,6 +865,7 @@ class FleetCoordinator:
         lookahead_h: float | None = None,
         forecaster: str = "diurnal",
         gating: GatingPolicy | str | None = None,
+        batch: BatchJobClass | None = None,
         share_caches: bool = False,
     ) -> "FleetCoordinator":
         """Assemble one regional service per region plus the router.
@@ -709,7 +899,10 @@ class FleetCoordinator:
         on elastic GPU capacity: a :class:`~repro.fleet.GatingPolicy`, or
         a mode name (``"reactive"`` wakes on observed shortfall,
         ``"forecast"`` additionally pre-wakes from the router's lookahead
-        hints); ``None`` keeps every GPU always on.
+        hints); ``None`` keeps every GPU always on.  ``batch`` adds a
+        deferrable :class:`~repro.shifting.BatchJobClass` the temporal
+        scheduler shifts into forecast-clean epochs (``None`` keeps the
+        interactive-only pipeline bit-for-bit).
         """
         if isinstance(fidelity, str):
             fidelity = FidelityProfile.by_name(fidelity)
@@ -802,6 +995,7 @@ class FleetCoordinator:
             drain_share_per_h=drain_share_per_h,
             forecaster=forecaster,
             gating=gating,
+            batch=batch,
         )
 
     # ------------------------------------------------------------------ #
@@ -944,15 +1138,23 @@ class FleetCoordinator:
         return fn
 
     def _settle_capacity(
-        self, ctx: RoutingContext, rates: np.ndarray
+        self,
+        ctx: RoutingContext,
+        rates: np.ndarray,
+        batch_holds: np.ndarray | None = None,
     ) -> list[EpochCapacity]:
-        """Wake phase of the gate→route→wake pipeline.
+        """Wake phase of the gate→route→admit-batch→wake pipeline.
 
         Reconciles each region's routed rate with its awake pool (waking
         reactively on shortfall, filing pre-wakes from the router's
         capacity hints) and prices the epoch's elastic-capacity energy:
         sleeping GPUs at the power model's sleep-state watts, wake
-        transitions at the policy's transition energy.
+        transitions at the policy's transition energy.  ``batch_holds``
+        are the temporal scheduler's keep-awake rates — interactive
+        traffic plus the batch volume a region is serving now plus what
+        the plan sends it next epoch — folded into the settle hint so
+        hysteresis never sleeps GPUs through a clean valley the
+        scheduler is about to fill.
         """
         hints = None
         if self.gating.prewake:
@@ -960,6 +1162,9 @@ class FleetCoordinator:
         capacities = []
         for r, (svc, mgr) in enumerate(zip(self.services, self._managers)):
             hint = float(hints[r]) if hints is not None else None
+            if batch_holds is not None and batch_holds[r] > 0.0:
+                held = float(batch_holds[r])
+                hint = held if hint is None else max(hint, held)
             decision = mgr.settle(float(rates[r]), hint_rate_per_s=hint)
             svc.set_awake(decision.awake)
             # Sleeping devices are priced individually: heterogeneous
@@ -988,6 +1193,121 @@ class FleetCoordinator:
                 )
             )
         return capacities
+
+    def _admit_batch(
+        self,
+        i: int,
+        t_h: float,
+        ctx: RoutingContext,
+        rates: np.ndarray,
+        results: list[RunResult],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Admit-batch phase: release deferrable work into this epoch.
+
+        Computes each region's *leftover* serving rate — awake, SLA-safe
+        capacity minus the interactive routed rate — plus the temporal
+        slot ranking (predicted effective gCO2/request of every future
+        epoch still inside a lot's deadline) and lets the scheduler plan.
+        Returns ``(batch_rates, hold_rates)``: what each region serves
+        now, and the near-future total rate the settle hints hold
+        capacity for.
+        """
+        sched = self._batch_scheduler
+        sched.observe_arrivals(t_h)
+        # Leftover capacity prices batch admission against the same two
+        # ceilings interactive routing respects: the awake pool and the
+        # deployed config's SLA-safe rate (with the planning margin), so
+        # admission can never push interactive traffic over its SLA.
+        awake_caps = (
+            np.array([m.awake_rate_per_s() for m in self._managers])
+            if self._managers is not None
+            else self._capacity
+        )
+        sla_caps = np.array(
+            [
+                s.sla_safe_rate(
+                    budget_ms=s.sla_target_ms - self.SLA_PLANNING_MARGIN_MS
+                )
+                for s in self.services
+            ]
+        )
+        leftover = np.maximum(0.0, np.minimum(awake_caps, sla_caps) - rates)
+        # Accuracy floor: regions whose deployed config last measured
+        # below the batch class's floor only get deadline-forced work.
+        eligible = np.ones(len(self.services), dtype=bool)
+        floor_pct = self.batch.accuracy_floor_pct
+        if floor_pct is not None and i > 0:
+            for r, result in enumerate(results):
+                floor = floor_pct / 100.0 * result.a_base
+                eligible[r] = results[r].epochs[-1].accuracy >= floor - 1e-12
+        # Spatial ranking: the same effective-carbon score routing uses,
+        # with the marginal-energy term on heterogeneous fleets.  It is
+        # recomputed here (not read off ctx) because the energy term is
+        # only placed in the context for efficiency-weighted routers.
+        energy = None
+        if self._heterogeneous:
+            energy = np.array(
+                [
+                    s.marginal_energy_per_request_j(
+                        static_amortize_utilization=(
+                            None
+                            if self.gating is None
+                            else self.gating.target_utilization
+                        )
+                    )
+                    for s in self.services
+                ]
+            )
+        scores = ctx.ci * self._pue
+        if energy is not None:
+            scores = scores * energy
+        # Temporal ranking: every slot — including slot 0 — is scored
+        # from the same forecaster bank at its mid-slot offset, so the
+        # "wait or run now" comparison carries no actual-vs-forecast
+        # asymmetry (at horizon ~0 the forecasters return the current
+        # observation anyway).  The fleet-min is the score: the planner
+        # asks "how clean could a request be served then", and spatial
+        # placement independently picks the cleanest open region.
+        n_slots = sched.horizon_slots
+        step_h = self.step_s / 3600.0
+        offsets = (np.arange(n_slots) + 0.5) * step_h
+        forecast = np.array(
+            [f.predict_many(t_h, offsets) for f in self._batch_forecasters]
+        )
+        effective = forecast * self._pue[:, None]
+        if energy is not None:
+            effective = effective * energy[:, None]
+        slot_scores = effective.min(axis=0)
+        slot_caps = np.empty(n_slots, dtype=np.float64)
+        slot_caps[0] = float((leftover * eligible).sum()) * self.step_s
+        if n_slots > 1:
+            offsets = offsets[1:]
+            total_cap = float(self._capacity.sum())
+            interactive = float(rates.sum())
+            if self.demand is None:
+                future_rates = np.full(offsets.size, interactive)
+            else:
+                future_rates = np.array(
+                    [self.demand.total_rate(t_h + off) for off in offsets]
+                )
+            estimated = np.maximum(0.0, total_cap - future_rates) * self.step_s
+            # The physical envelope overstates what admission will see
+            # (SLA caps, gated pools); scale future estimates by the
+            # haircut slot 0 actually took.
+            estimated0 = max(0.0, total_cap - interactive) * self.step_s
+            calibration = (
+                min(1.0, slot_caps[0] / estimated0) if estimated0 > 0 else 0.0
+            )
+            slot_caps[1:] = estimated * calibration
+        return sched.plan_epoch(
+            i,
+            t_h,
+            region_scores=scores,
+            region_leftover_rates=leftover,
+            region_eligible=eligible,
+            slot_scores=slot_scores,
+            slot_caps=slot_caps,
+        )
 
     def run(
         self,
@@ -1067,6 +1387,8 @@ class FleetCoordinator:
         if self._managers is not None:
             for mgr in self._managers:
                 mgr.reset()
+        if self._batch_scheduler is not None:
+            self._batch_scheduler.reset()
         results = [s.begin_run() for s in self.services]
         # Under ramp limits the fleet starts from the static geo-DNS
         # position (capacity-proportional) and must *walk* anywhere else —
@@ -1078,6 +1400,7 @@ class FleetCoordinator:
         prev_shares = self._nominal / self._nominal.sum() if ramped else None
         prev_plan: np.ndarray | None = None
         plans: list[np.ndarray] = []
+        batch_rows: list[np.ndarray] = []
         # The planner budgets against slightly *tightened* targets: its SLA
         # caps come from analytic bisections, while attainment is judged on
         # DES measurements — the margin absorbs that estimator mismatch so
@@ -1133,14 +1456,31 @@ class FleetCoordinator:
                     prev_plan = plan
                 plans.append(plan)
             prev_shares = rates / global_rate
+            # Admit-batch phase: interactive routing is settled, so the
+            # leftover envelope is known; the temporal scheduler decides
+            # what queued batch work runs *this* epoch.  ``rates`` stays
+            # the interactive-only array (ramp shares and transport
+            # plans never see batch), the step rates carry both.
+            step_rates = rates
+            batch_holds = None
+            if self._batch_scheduler is not None:
+                batch_rates, sched_holds = self._admit_batch(
+                    i, t_h, ctx, rates, results
+                )
+                batch_rows.append(batch_rates)
+                step_rates = rates + batch_rates
+                # The hold hint is the total near-future rate: persisted
+                # interactive traffic plus admitted batch plus the next
+                # slot's planned volume.
+                batch_holds = rates + sched_holds
             capacities = (
-                self._settle_capacity(ctx, rates)
+                self._settle_capacity(ctx, step_rates, batch_holds=batch_holds)
                 if self._managers is not None
                 else [None] * len(self.services)
             )
             if executor is None:
                 for service, result, rate, cap in zip(
-                    self.services, results, rates, capacities
+                    self.services, results, step_rates, capacities
                 ):
                     service.step(result, i, t_h, float(rate), capacity=cap)
             else:
@@ -1149,7 +1489,7 @@ class FleetCoordinator:
                         service.step, result, i, t_h, float(rate), capacity=cap
                     )
                     for service, result, rate, cap in zip(
-                        self.services, results, rates, capacities
+                        self.services, results, step_rates, capacities
                     )
                 ]
                 for future in futures:
@@ -1165,6 +1505,19 @@ class FleetCoordinator:
                 origin_plans=tuple(plans),
                 user_sla_target_ms=self.services[0].user_sla_target_ms,
             )
+        batch_fields = {}
+        if self._batch_scheduler is not None:
+            sched = self._batch_scheduler
+            end_t_h = n_epochs * self.step_s / 3600.0
+            batch_fields = dict(
+                batch_name=self.batch.name,
+                batch_rates=np.array(batch_rows),
+                batch_completions=tuple(
+                    tuple(ledger.completions) for ledger in sched.ledgers
+                ),
+                batch_pending_requests=sched.backlog.pending_requests,
+                batch_overdue_requests=sched.backlog.overdue_requests(end_t_h),
+            )
         return FleetResult(
             router_name=self.router.name,
             scheme_name=self.scheme_label,
@@ -1174,4 +1527,5 @@ class FleetCoordinator:
             results=tuple(results),
             gating_name=self.gating_name,
             **demand_fields,
+            **batch_fields,
         )

@@ -3,7 +3,8 @@
 The repo's speed claims are measured, committed and CI-guarded rather
 than asserted: :mod:`repro.perf.core` defines the pinned scenarios (an
 SA epoch, a 1k-candidate batch evaluation, a 5-region diurnal routing
-epoch) and :mod:`repro.perf.baseline` the committed-JSON schema and the
+epoch, a fine-grained temporal batch-planning epoch) and
+:mod:`repro.perf.baseline` the committed-JSON schema and the
 tolerance-banded regression check that ``repro bench`` and the CI perf
 job run against ``BENCH_perf_core.json``.
 """
@@ -16,6 +17,7 @@ from repro.perf.core import (
     scenario_batch_eval_1k,
     scenario_routing_epoch,
     scenario_sa_epoch,
+    scenario_shifting_epoch,
 )
 from repro.perf.baseline import (
     DEFAULT_TOLERANCE,
@@ -33,6 +35,7 @@ __all__ = [
     "scenario_batch_eval_1k",
     "scenario_routing_epoch",
     "scenario_sa_epoch",
+    "scenario_shifting_epoch",
     "DEFAULT_TOLERANCE",
     "baseline_path",
     "check_regressions",

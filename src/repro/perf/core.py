@@ -13,6 +13,9 @@ Three scenarios track the optimizer/router hot path end to end:
   evaluations).
 * ``routing_epoch`` — a 5-region diurnal day of demand-mode
   :func:`plan_origin_cells` calls vs the scalar cell-by-cell reference.
+* ``shifting_epoch`` — a day of temporal batch planning: EDF water-fill
+  :func:`plan_batch_slots` over a 48-slot forecast window vs the scalar
+  lot-by-lot reference.
 
 Every scenario is deterministic (fixed seeds, fixed walks) so run-to-run
 noise is timing noise only.  Raw ops/s are machine-dependent; the
@@ -29,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-SCENARIO_NAMES = ("batch_eval_1k", "sa_epoch", "routing_epoch")
+SCENARIO_NAMES = ("batch_eval_1k", "sa_epoch", "routing_epoch", "shifting_epoch")
 
 #: Candidate count of the headline batch-evaluation scenario — pinned at
 #: every fidelity (the ISSUE's acceptance criterion is defined on it).
@@ -298,10 +301,56 @@ def scenario_routing_epoch(fidelity: str = "default") -> ScenarioResult:
     )
 
 
+def scenario_shifting_epoch(fidelity: str = "default") -> ScenarioResult:
+    """A day of fine-grained temporal batch planning (quarter-hour slots).
+
+    Each epoch replans a deterministic backlog of 192 deferrable lots —
+    staggered deadlines, mixed sizes — over a 288-slot (72 h x 15 min)
+    forecast window whose capacity is tight enough that most lots
+    genuinely water-fill across many slots: the vectorized EDF
+    :func:`plan_batch_slots` vs its scalar lot-by-lot reference, in both
+    preemptible and whole-lot modes.  Pure planner arithmetic, no fleet
+    in the loop.
+    """
+    from repro.shifting import _plan_batch_slots_scalar, plan_batch_slots
+
+    n_lots, n_slots = 192, 288
+    epochs = 24 if fidelity == "smoke" else 96
+    idx = np.arange(n_lots, dtype=np.float64)
+    requests = 60.0 + 40.0 * np.cos(idx * 0.7) ** 2
+    deadline_slots = (idx * 5.0).astype(np.intp) % n_slots
+    slots = np.arange(n_slots, dtype=np.float64)
+    caps_base = 40.0 * (1.0 + 0.5 * np.sin(2.0 * np.pi * slots / n_slots))
+
+    def day(planner) -> float:
+        t0 = time.perf_counter()
+        for e in range(epochs):
+            phase = 2.0 * np.pi * e / epochs
+            scores = 200.0 + 150.0 * np.sin(2.0 * np.pi * slots / 24.0 + phase)
+            caps = caps_base * (1.0 + 0.2 * np.cos(phase))
+            planner(requests, deadline_slots, caps, scores)
+            planner(requests, deadline_slots, caps, scores, preemptible=False)
+        return time.perf_counter() - t0
+
+    day(plan_batch_slots)  # warm
+    batch_s = day(plan_batch_slots)
+    scalar_s = day(_plan_batch_slots_scalar)
+
+    return ScenarioResult(
+        name="shifting_epoch",
+        ops_per_s=epochs / batch_s,
+        speedup_vs_scalar=scalar_s / batch_s,
+        items=epochs,
+        seconds=batch_s,
+        scalar_seconds=scalar_s,
+    )
+
+
 _SCENARIOS = {
     "batch_eval_1k": scenario_batch_eval_1k,
     "sa_epoch": scenario_sa_epoch,
     "routing_epoch": scenario_routing_epoch,
+    "shifting_epoch": scenario_shifting_epoch,
 }
 
 

@@ -45,6 +45,7 @@ from repro.scenarios.serialize import (
 from repro.scenarios.spec import (
     DEMAND_KINDS,
     FIDELITY_NAMES,
+    BatchSpec,
     DemandSpec,
     GatingSpec,
     RegionSpec,
@@ -59,6 +60,7 @@ __all__ = [
     "DemandSpec",
     "RoutingSpec",
     "GatingSpec",
+    "BatchSpec",
     "FIDELITY_NAMES",
     "DEMAND_KINDS",
     "Scenario",

@@ -31,6 +31,7 @@ from repro.fleet import (
     region_by_name,
 )
 from repro.scenarios.spec import ScenarioSpec
+from repro.shifting import BatchJobClass
 
 __all__ = ["Scenario", "build_coordinator", "execute_spec"]
 
@@ -63,6 +64,22 @@ def build_coordinator(spec: ScenarioSpec) -> FleetCoordinator:
             overrides["wake_energy_j"] = spec.gating.wake_energy_j
         gating = make_gating_policy(spec.gating.mode, **overrides)
 
+    batch = None
+    if spec.batch.enabled:
+        overrides = {
+            name: getattr(spec.batch, name)
+            for name in (
+                "requests_per_job",
+                "deadline_h",
+                "arrival",
+                "preemptible",
+                "accuracy_floor_pct",
+                "defer",
+            )
+            if getattr(spec.batch, name) is not None
+        }
+        batch = BatchJobClass(jobs_per_h=spec.batch.jobs_per_h, **overrides)
+
     router = spec.routing.router
     if not spec.routing.efficiency_weighted:
         # Spec validation already restricted this to the rankings that
@@ -87,6 +104,7 @@ def build_coordinator(spec: ScenarioSpec) -> FleetCoordinator:
         lookahead_h=spec.routing.lookahead_h,
         forecaster=spec.routing.forecaster,
         gating=gating,
+        batch=batch,
         share_caches=spec.shared_cache,
     )
 

@@ -31,6 +31,9 @@ File layout::
     [gating]
     mode = "reactive"
 
+    [batch]
+    jobs_per_h = 120.0
+
     [sweep]                      # optional: `repro sweep` input
     workers = 2
     [sweep.axes]
@@ -44,6 +47,7 @@ from dataclasses import field as dc_field, fields, make_dataclass
 from pathlib import Path
 
 from repro.scenarios.spec import (
+    BatchSpec,
     DemandSpec,
     GatingSpec,
     RegionSpec,
@@ -63,7 +67,12 @@ __all__ = [
 ]
 
 #: ScenarioSpec fields holding nested sub-specs (emitted as TOML tables).
-_SUB_SPECS = {"routing": RoutingSpec, "demand": DemandSpec, "gating": GatingSpec}
+_SUB_SPECS = {
+    "routing": RoutingSpec,
+    "demand": DemandSpec,
+    "gating": GatingSpec,
+    "batch": BatchSpec,
+}
 
 #: Fields that must be floats even when the file spells them as ints
 #: (TOML `duration_h = 24` parses as an integer).
@@ -76,6 +85,10 @@ _FLOAT_FIELDS = {
     "drain_share_per_h",
     "lookahead_h",
     "wake_energy_j",
+    "jobs_per_h",
+    "requests_per_job",
+    "deadline_h",
+    "accuracy_floor_pct",
 }
 
 

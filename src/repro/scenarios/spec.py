@@ -44,6 +44,7 @@ from repro.fleet.regions import REGION_NAMES
 from repro.fleet.routing import ROUTER_NAMES
 from repro.gpu.profiles import DEVICE_NAMES
 from repro.models.families import APPLICATIONS
+from repro.shifting.batch import ARRIVAL_PROFILES
 
 #: Applications the default model zoo serves (Table-1 registry).
 APPLICATION_NAMES = tuple(sorted(APPLICATIONS))
@@ -53,6 +54,7 @@ __all__ = [
     "DemandSpec",
     "RoutingSpec",
     "GatingSpec",
+    "BatchSpec",
     "ScenarioSpec",
     "FIDELITY_NAMES",
     "DEMAND_KINDS",
@@ -216,6 +218,74 @@ class GatingSpec:
 
 
 @dataclass(frozen=True)
+class BatchSpec:
+    """Deferrable batch work riding along with the interactive traffic.
+
+    ``jobs_per_h=None`` (the default) means no batch class — the scenario
+    is the pure interactive pipeline, bit-for-bit.  Setting it enables the
+    temporal scheduler; every other field refines the workload and
+    inherits the :class:`~repro.shifting.BatchJobClass` default when left
+    ``None`` (so an all-default ``[batch]`` block with only ``jobs_per_h``
+    is a valid minimal scenario).
+    """
+
+    jobs_per_h: float | None = None
+    requests_per_job: float | None = None
+    deadline_h: float | None = None
+    arrival: str | None = None
+    preemptible: bool | None = None
+    accuracy_floor_pct: float | None = None
+    defer: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs_per_h is None:
+            set_fields = [
+                name
+                for name in (
+                    "requests_per_job",
+                    "deadline_h",
+                    "arrival",
+                    "preemptible",
+                    "accuracy_floor_pct",
+                    "defer",
+                )
+                if getattr(self, name) is not None
+            ]
+            if set_fields:
+                raise ValueError(
+                    f"batch {', '.join(set_fields)} without jobs_per_h has "
+                    "no effect; set batch.jobs_per_h to enable the batch "
+                    "workload"
+                )
+            return
+        if self.jobs_per_h <= 0.0:
+            raise ValueError(
+                f"batch jobs per hour must be positive, got {self.jobs_per_h}"
+            )
+        if self.requests_per_job is not None and self.requests_per_job <= 0.0:
+            raise ValueError(
+                f"requests per job must be positive, got {self.requests_per_job}"
+            )
+        if self.deadline_h is not None and self.deadline_h <= 0.0:
+            raise ValueError(
+                f"batch deadline must be positive, got {self.deadline_h}"
+            )
+        if self.arrival is not None:
+            _choice("arrival profile", self.arrival, ARRIVAL_PROFILES)
+        if self.accuracy_floor_pct is not None and not (
+            0.0 < self.accuracy_floor_pct <= 100.0
+        ):
+            raise ValueError(
+                f"accuracy floor must be in (0, 100] %, got "
+                f"{self.accuracy_floor_pct}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.jobs_per_h is not None
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """The declarative front door: everything one fleet experiment needs.
 
@@ -238,8 +308,9 @@ class ScenarioSpec:
         Override every region's registry network latency (the
         paper-faithful fig16 path pins 0.0); ``None`` keeps registry
         values.
-    routing, demand, gating:
-        The composable sub-specs.
+    routing, demand, gating, batch:
+        The composable sub-specs (``batch`` adds a deferrable workload
+        the temporal scheduler shifts into clean epochs).
     shared_cache:
         Pool analytic evaluator caches across identical-hardware regions
         (results unchanged, warm-up cost drops); ``False`` opts out.
@@ -262,6 +333,7 @@ class ScenarioSpec:
     routing: RoutingSpec = field(default_factory=RoutingSpec)
     demand: DemandSpec = field(default_factory=DemandSpec)
     gating: GatingSpec = field(default_factory=GatingSpec)
+    batch: BatchSpec = field(default_factory=BatchSpec)
     shared_cache: bool = True
     parallel_regions: int | None = None
     name: str = ""
@@ -360,7 +432,7 @@ class ScenarioSpec:
                 f"{', '.join(sorted(valid))}"
             )
         if not rest:
-            if head in ("routing", "demand", "gating", "regions"):
+            if head in ("routing", "demand", "gating", "batch", "regions"):
                 raise ValueError(
                     f"field {head!r} is a sub-spec; address one of its "
                     f"fields (e.g. {head}.<field>) or pass a built value "

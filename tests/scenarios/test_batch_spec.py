@@ -1,0 +1,136 @@
+"""BatchSpec validation, serialization and coordinator wiring."""
+
+import pytest
+
+from repro.scenarios import (
+    BatchSpec,
+    RegionSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    Scenario,
+    spec_from_json,
+    spec_from_toml,
+    spec_to_json,
+    spec_to_toml,
+)
+
+
+def minimal(**overrides) -> ScenarioSpec:
+    base = dict(regions=(RegionSpec(name="us-ciso"),))
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestBatchSpecValidation:
+    def test_default_is_disabled(self):
+        spec = BatchSpec()
+        assert spec.enabled is False
+        assert minimal().batch == spec
+
+    def test_enabled_with_jobs_per_h(self):
+        assert BatchSpec(jobs_per_h=120.0).enabled is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(deadline_h=4.0),
+            dict(requests_per_job=10.0),
+            dict(arrival="uniform"),
+            dict(preemptible=False),
+            dict(accuracy_floor_pct=95.0),
+            dict(defer=False),
+        ],
+    )
+    def test_sub_fields_without_enabler_rejected(self, kwargs):
+        """Silent no-ops are configuration bugs: any batch field without
+        ``jobs_per_h`` names the enabling field in the error."""
+        with pytest.raises(ValueError, match="batch.*jobs_per_h"):
+            BatchSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(jobs_per_h=0.0), "jobs per hour"),
+            (dict(jobs_per_h=120.0, requests_per_job=-1.0), "requests per job"),
+            (dict(jobs_per_h=120.0, deadline_h=0.0), "deadline"),
+            (dict(jobs_per_h=120.0, arrival="bursty"), "arrival"),
+            (dict(jobs_per_h=120.0, accuracy_floor_pct=150.0), "accuracy floor"),
+        ],
+    )
+    def test_field_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            BatchSpec(**kwargs)
+
+
+class TestBatchSerialization:
+    def test_zero_batch_emits_no_batch_section(self):
+        """A batch-free spec's files are byte-identical to pre-batch
+        output: no ``[batch]`` table, no ``"batch"`` key."""
+        spec = minimal()
+        assert "[batch]" not in spec_to_toml(spec)
+        assert '"batch"' not in spec_to_json(spec)
+
+    def test_round_trips_exactly(self):
+        spec = minimal(
+            batch=BatchSpec(
+                jobs_per_h=432.0,
+                requests_per_job=100.0,
+                deadline_h=8.0,
+                arrival="business-hours",
+                preemptible=False,
+                accuracy_floor_pct=96.5,
+                defer=True,
+            )
+        )
+        assert spec_from_toml(spec_to_toml(spec)) == spec
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_integer_spelled_floats_coerce(self):
+        spec = spec_from_toml(
+            'n_gpus = 2\n[[regions]]\nname = "us-ciso"\n'
+            "[batch]\njobs_per_h = 120\ndeadline_h = 6\n"
+        )
+        assert spec.batch.jobs_per_h == 120.0
+        assert isinstance(spec.batch.jobs_per_h, float)
+        assert isinstance(spec.batch.deadline_h, float)
+
+    def test_override_by_dotted_path(self):
+        spec = minimal(batch=BatchSpec(jobs_per_h=120.0))
+        bumped = spec.override("batch.jobs_per_h", 240.0)
+        assert bumped.batch.jobs_per_h == 240.0
+        assert spec.batch.jobs_per_h == 120.0
+
+
+class TestBatchWiring:
+    def test_spec_builds_batch_job_with_overrides(self):
+        spec = minimal(
+            fidelity="smoke",
+            n_gpus=2,
+            batch=BatchSpec(
+                jobs_per_h=120.0, deadline_h=6.0, arrival="business-hours"
+            ),
+        )
+        coord = Scenario(spec).build()
+        assert coord.batch is not None
+        assert coord.batch.jobs_per_h == 120.0
+        assert coord.batch.deadline_h == 6.0
+        assert coord.batch.arrival == "business-hours"
+        # Unset fields keep the workload-class defaults.
+        assert coord.batch.requests_per_job == 1.0
+        assert coord.batch.preemptible is True
+
+    def test_disabled_spec_builds_no_scheduler(self):
+        coord = Scenario(minimal(fidelity="smoke", n_gpus=2)).build()
+        assert coord.batch is None
+        assert coord._batch_scheduler is None
+
+
+class TestRoutingLookaheadBoundary:
+    def test_negative_lookahead_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="lookahead must be non-negative"):
+            RoutingSpec(router="forecast-aware", lookahead_h=-1.0)
+
+    def test_zero_lookahead_allowed(self):
+        assert RoutingSpec(
+            router="forecast-aware", lookahead_h=0.0
+        ).lookahead_h == 0.0

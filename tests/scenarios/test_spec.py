@@ -5,6 +5,7 @@ import dataclasses
 import pytest
 
 from repro.scenarios import (
+    BatchSpec,
     DemandSpec,
     GatingSpec,
     RegionSpec,
@@ -52,6 +53,11 @@ KITCHEN_SINK = ScenarioSpec(
         drain_share_per_h=0.2,
     ),
     gating=GatingSpec(mode="forecast", wake_energy_j=500.0),
+    batch=BatchSpec(
+        jobs_per_h=120.0, requests_per_job=50.0, deadline_h=6.0,
+        arrival="business-hours", preemptible=False,
+        accuracy_floor_pct=97.0, defer=True,
+    ),
     shared_cache=False,
     parallel_regions=2,
 )

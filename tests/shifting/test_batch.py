@@ -1,0 +1,85 @@
+"""The deferrable workload class and its backlog accounting."""
+
+import pytest
+
+from repro.shifting import BatchJobClass, BatchLot, BacklogLedger
+from repro.shifting.batch import _business_hours_overlap
+
+
+class TestBatchJobClass:
+    def test_mean_rate(self):
+        job = BatchJobClass(jobs_per_h=360.0, requests_per_job=10.0)
+        assert job.mean_rate_per_s == pytest.approx(1.0)
+
+    def test_uniform_arrivals_integrate_the_rate(self):
+        job = BatchJobClass(jobs_per_h=60.0, requests_per_job=30.0)
+        assert job.arrivals_requests(0.0, 2.0) == pytest.approx(3600.0)
+        assert job.arrivals_requests(5.0, 5.0) == 0.0
+        assert job.arrivals_requests(5.0, 4.0) == 0.0  # empty interval
+
+    def test_business_hours_preserves_daily_volume(self):
+        uniform = BatchJobClass(jobs_per_h=60.0, requests_per_job=2.0)
+        bursty = BatchJobClass(
+            jobs_per_h=60.0, requests_per_job=2.0, arrival="business-hours"
+        )
+        assert bursty.arrivals_requests(0.0, 24.0) == pytest.approx(
+            uniform.arrivals_requests(0.0, 24.0)
+        )
+        # ... but nothing lands outside 09:00-17:00.
+        assert bursty.arrivals_requests(0.0, 9.0) == 0.0
+        assert bursty.arrivals_requests(17.0, 24.0) == 0.0
+        assert bursty.arrivals_requests(9.0, 17.0) == pytest.approx(
+            24.0 * 60.0 * 2.0
+        )
+
+    def test_business_hours_overlap_spans_days(self):
+        assert _business_hours_overlap(0.0, 48.0) == pytest.approx(16.0)
+        assert _business_hours_overlap(16.5, 33.5) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(jobs_per_h=0.0), "jobs per hour"),
+            (dict(jobs_per_h=-5.0), "jobs per hour"),
+            (dict(jobs_per_h=1.0, requests_per_job=0.0), "requests per job"),
+            (dict(jobs_per_h=1.0, deadline_h=0.0), "deadline"),
+            (dict(jobs_per_h=1.0, arrival="poisson"), "arrival profile"),
+            (dict(jobs_per_h=1.0, accuracy_floor_pct=0.0), "accuracy floor"),
+            (dict(jobs_per_h=1.0, accuracy_floor_pct=101.0), "accuracy floor"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            BatchJobClass(**kwargs)
+
+
+class TestBacklogLedger:
+    def test_queue_and_overdue_accounting(self):
+        ledger = BacklogLedger("fleet")
+        ledger.enqueue(BatchLot(arrival_t_h=0.0, deadline_t_h=4.0, requests=50.0))
+        ledger.enqueue(BatchLot(arrival_t_h=1.0, deadline_t_h=9.0, requests=30.0))
+        assert ledger.pending_requests == 80.0
+        assert ledger.overdue_requests(3.0) == 0.0
+        assert ledger.overdue_requests(4.0) == 50.0
+        assert ledger.overdue_requests(10.0) == 80.0
+
+    def test_completion_accounting(self):
+        ledger = BacklogLedger("us-ciso")
+        ledger.record(epoch=0, t_h=0.0, requests=40.0, age_h=0.0, on_time=True)
+        ledger.record(epoch=5, t_h=5.0, requests=10.0, age_h=5.0, on_time=False)
+        assert ledger.completed_requests == 50.0
+        assert ledger.on_time_requests == 40.0
+
+    def test_reset_clears_both_sides(self):
+        ledger = BacklogLedger("fleet")
+        ledger.enqueue(BatchLot(arrival_t_h=0.0, deadline_t_h=8.0, requests=5.0))
+        ledger.record(epoch=0, t_h=0.0, requests=5.0, age_h=0.0, on_time=True)
+        ledger.reset()
+        assert ledger.pending_requests == 0.0
+        assert ledger.completed_requests == 0.0
+        assert not ledger.completions
+
+    def test_lot_keeps_arrival_size(self):
+        lot = BatchLot(arrival_t_h=0.0, deadline_t_h=8.0, requests=100.0)
+        lot.requests -= 60.0
+        assert lot.requests_total == 100.0

@@ -1,0 +1,120 @@
+"""Property tests for the temporal slot planner.
+
+Three guarantees: the vectorized planner agrees with its scalar
+reference within summation-order noise, every plan respects capacity and
+deadline eligibility, and EDF water-filling never misses a deadline the
+slot capacities could have met (Hall's condition on the nested deadline
+windows — the scheduler's no-miss claim).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.shifting import _plan_batch_slots_scalar, plan_batch_slots
+
+RTOL = 1e-9
+
+
+@st.composite
+def slot_problems(draw):
+    n_lots = draw(st.integers(min_value=1, max_value=24))
+    n_slots = draw(st.integers(min_value=1, max_value=16))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    requests = rng.uniform(0.0, 80.0, n_lots)
+    if draw(st.booleans()):
+        requests = requests.round(0)  # integer sizes force exact ties
+    deadline_slots = rng.integers(0, n_slots, n_lots)
+    caps = rng.uniform(0.0, 120.0, n_slots)
+    if draw(st.booleans()):
+        caps = caps.round(0)
+    scores = rng.uniform(20.0, 400.0, n_slots)
+    if draw(st.booleans()):
+        scores = scores.round(-1)  # score ties exercise the stable sort
+    preemptible = draw(st.booleans())
+    return requests, deadline_slots, caps, scores, preemptible
+
+
+class TestVectorizedMatchesScalar:
+    @given(problem=slot_problems())
+    @settings(max_examples=120, deadline=None)
+    def test_allocation_matrices_agree(self, problem):
+        requests, deadlines, caps, scores, preemptible = problem
+        vec = plan_batch_slots(
+            requests, deadlines, caps, scores, preemptible=preemptible
+        )
+        ref = _plan_batch_slots_scalar(
+            requests, deadlines, caps, scores, preemptible=preemptible
+        )
+        np.testing.assert_allclose(vec, ref, rtol=RTOL, atol=1e-9)
+
+
+class TestPlanInvariants:
+    @given(problem=slot_problems())
+    @settings(max_examples=120, deadline=None)
+    def test_caps_deadlines_and_demand_respected(self, problem):
+        requests, deadlines, caps, scores, preemptible = problem
+        alloc = plan_batch_slots(
+            requests, deadlines, caps, scores, preemptible=preemptible
+        )
+        n_slots = caps.size
+        assert (alloc >= 0.0).all()
+        # No slot is oversubscribed...
+        assert (alloc.sum(axis=0) <= caps + 1e-9 * (1.0 + caps)).all()
+        # ... no lot is over-served...
+        assert (alloc.sum(axis=1) <= requests + 1e-9 * (1.0 + requests)).all()
+        # ... and nothing lands past its deadline slot.
+        for li in range(requests.size):
+            last = max(0, min(int(deadlines[li]), n_slots - 1))
+            assert alloc[li, last + 1:].sum() == 0.0
+
+
+class TestNoMissWhileFeasible:
+    @given(
+        n_slots=st.integers(min_value=1, max_value=12),
+        seed=st.integers(0, 2**31 - 1),
+        slack=st.floats(min_value=1.0, max_value=2.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_feasible_backlogs_place_fully(self, n_slots, seed, slack):
+        """Hall's condition: if every deadline-prefix of the demand fits
+        the matching capacity prefix, preemptible EDF places every lot."""
+        rng = np.random.default_rng(seed)
+        n_lots = int(rng.integers(1, 20))
+        requests = rng.uniform(1.0, 50.0, n_lots)
+        deadline_slots = rng.integers(0, n_slots, n_lots)
+        # Build capacities that make the instance feasible by
+        # construction: each slot carries ``slack`` times the demand due
+        # at it, placed at its deadline (the tightest legal layout).
+        caps = np.zeros(n_slots)
+        for li in range(n_lots):
+            caps[deadline_slots[li]] += requests[li]
+        caps *= slack
+        scores = rng.uniform(20.0, 400.0, n_slots)
+        alloc = plan_batch_slots(requests, deadline_slots, caps, scores)
+        np.testing.assert_allclose(
+            alloc.sum(axis=1), requests, rtol=RTOL, atol=1e-9
+        )
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_shortfall_only_when_prefix_overflows(self, seed):
+        """Any unplaced remainder certifies genuine infeasibility: the
+        demand due by some deadline exceeds that prefix's capacity."""
+        rng = np.random.default_rng(seed)
+        n_lots = int(rng.integers(1, 16))
+        n_slots = int(rng.integers(1, 10))
+        requests = rng.uniform(1.0, 60.0, n_lots)
+        deadline_slots = rng.integers(0, n_slots, n_lots)
+        caps = rng.uniform(0.0, 80.0, n_slots)
+        scores = rng.uniform(20.0, 400.0, n_slots)
+        alloc = plan_batch_slots(requests, deadline_slots, caps, scores)
+        placed = alloc.sum(axis=1)
+        short = placed < requests - 1e-9 * (1.0 + requests)
+        if not short.any():
+            return
+        clipped = np.minimum(deadline_slots, n_slots - 1)
+        for li in np.flatnonzero(short):
+            last = int(clipped[li])
+            due = requests[clipped <= last].sum()
+            room = caps[: last + 1].sum()
+            assert due > room - 1e-6

@@ -329,6 +329,96 @@ class TestFleetShimBuildsEqualSpecs:
         assert spec.regions[0].devices == ("a100", "l4")
 
 
+class TestBatchFlags:
+    def _spec(self, argv):
+        from repro.cli import fleet_args_to_spec
+
+        return fleet_args_to_spec(build_parser().parse_args(["fleet"] + argv))
+
+    def test_parser_defaults_to_no_batch(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.batch is None
+        assert self._spec([]).batch.enabled is False
+
+    def test_batch_flags_map_to_batch_spec(self):
+        from repro.scenarios import BatchSpec
+
+        spec = self._spec(
+            [
+                "--batch", "120",
+                "--batch-requests-per-job", "50",
+                "--batch-deadline-h", "6",
+                "--batch-arrival", "business-hours",
+            ]
+        )
+        assert spec.batch == BatchSpec(
+            jobs_per_h=120.0, requests_per_job=50.0, deadline_h=6.0,
+            arrival="business-hours",
+        )
+
+    def test_batch_sub_flags_without_enabler_are_dropped(self):
+        # Matches the gating flags' shim behavior: sub-flags without the
+        # enabling flag leave the feature off rather than erroring.
+        spec = self._spec(["--batch-deadline-h", "6"])
+        assert spec.batch.enabled is False
+
+    def test_bad_arrival_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "--batch", "120", "--batch-arrival", "bursty"]
+            )
+
+    def test_fleet_prints_batch_tables(self, capsys):
+        assert main(
+            [
+                "fleet", "--regions", "nordic-hydro,us-ciso",
+                "--n-gpus", "2", "--duration-h", "3",
+                "--batch", "60", "--batch-requests-per-job", "30",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch workload" in out
+        assert "batch deadlines:" in out
+        assert "batch shift:" in out
+
+    def test_zero_batch_output_has_no_batch_lines(self, capsys):
+        assert main(
+            [
+                "fleet", "--regions", "nordic-hydro,us-ciso",
+                "--n-gpus", "2", "--duration-h", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # The evaluator cache's "Batch%" column is unrelated; none of the
+        # batch-workload lines may appear.
+        assert "batch workload" not in out
+        assert "batch deadlines:" not in out
+        assert "batch shift:" not in out
+
+
+class TestLookaheadValidation:
+    """Regression: a negative lookahead dies at the boundary with a clear
+    message, not deep inside a router."""
+
+    def test_negative_lookahead_exits_with_clear_error(self, capsys):
+        assert main(["fleet", "--lookahead-h", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "lookahead must be non-negative" in err
+        assert "-1" in err
+
+    def test_negative_lookahead_rejected_in_scenario_files(self, tmp_path):
+        from repro.scenarios import load_scenario_file
+
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            'n_gpus = 2\n[[regions]]\nname = "us-ciso"\n'
+            "[routing]\nlookahead_h = -2.0\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="lookahead must be non-negative"):
+            load_scenario_file(path)
+
+
 class TestBench:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench"])
@@ -350,7 +440,7 @@ class TestBench:
         written = json.loads(out.read_text())
         assert written["schema"] == 1
         assert set(written["scenarios"]) == {
-            "batch_eval_1k", "sa_epoch", "routing_epoch"
+            "batch_eval_1k", "sa_epoch", "routing_epoch", "shifting_epoch"
         }
 
     def test_check_fails_on_regression(self, capsys, tmp_path):
